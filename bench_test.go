@@ -1,0 +1,286 @@
+package pseudosphere_test
+
+// One benchmark per reproduced table/figure (E1-E12 in DESIGN.md; E13-E15 are
+// covered by their packages), plus ablation benches for engine-level design choices: sparse-GF(2)
+// versus dense-field homology and the decision-map search fast path.
+
+import (
+	"testing"
+
+	"pseudosphere/internal/asyncmodel"
+	"pseudosphere/internal/bounds"
+	"pseudosphere/internal/core"
+	"pseudosphere/internal/experiments"
+	"pseudosphere/internal/homology"
+	"pseudosphere/internal/protocols"
+	"pseudosphere/internal/semisync"
+	"pseudosphere/internal/sim"
+	"pseudosphere/internal/sperner"
+	"pseudosphere/internal/syncmodel"
+	"pseudosphere/internal/task"
+	"pseudosphere/internal/topology"
+)
+
+func inputSimplex(m int) topology.Simplex {
+	labels := []string{"a", "b", "c", "d", "e"}
+	vs := make([]topology.Vertex, m+1)
+	for i := 0; i <= m; i++ {
+		vs[i] = topology.Vertex{P: i, Label: labels[i]}
+	}
+	return topology.MustSimplex(vs...)
+}
+
+func BenchmarkE1Figure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps := core.MustUniform(core.ProcessSimplex(2), []string{"0", "1"})
+		if homology.BettiZ2(ps)[2] != 1 {
+			b.Fatal("not a sphere")
+		}
+	}
+}
+
+func BenchmarkE2Figure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		circle := core.MustUniform(core.ProcessSimplex(1), []string{"0", "1"})
+		k33 := core.MustUniform(core.ProcessSimplex(1), []string{"0", "1", "2"})
+		if homology.BettiZ2(circle)[1]+homology.BettiZ2(k33)[1] != 5 {
+			b.Fatal("wrong homology")
+		}
+	}
+}
+
+func BenchmarkE3AsyncOneRound(b *testing.B) {
+	input := inputSimplex(3)
+	p := asyncmodel.Params{N: 3, F: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := asyncmodel.OneRound(input, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps, err := asyncmodel.Lemma11Pseudosphere(input, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := asyncmodel.Lemma11Map(res, input)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := topology.VerifyIsomorphism(res.Complex, ps, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4AsyncConnectivity(b *testing.B) {
+	input := inputSimplex(2)
+	p := asyncmodel.Params{N: 2, F: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := asyncmodel.Rounds(input, p, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !homology.IsKConnected(res.Complex, 0) {
+			b.Fatal("Lemma 12 violated")
+		}
+	}
+}
+
+func BenchmarkE5SyncOneRound(b *testing.B) {
+	input := inputSimplex(3)
+	p := syncmodel.Params{PerRound: 1, Total: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := syncmodel.OneRound(input, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Complex.IsEmpty() {
+			b.Fatal("empty complex")
+		}
+	}
+}
+
+func BenchmarkE6SyncIntersections(b *testing.B) {
+	input := inputSimplex(3)
+	sets := syncmodel.FailureSets(input.IDs(), 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prefix := topology.NewComplex()
+		for ti, fail := range sets {
+			cur, err := syncmodel.OneRoundExactly(input, fail)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ti > 0 {
+				lhs := prefix.Intersection(cur.Complex)
+				rhs, err := syncmodel.Lemma15RHS(input, fail)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !lhs.Equal(rhs.Complex) {
+					b.Fatal("Lemma 15 violated")
+				}
+			}
+			prefix.UnionWith(cur.Complex)
+		}
+	}
+}
+
+func BenchmarkE7SyncConnectivity(b *testing.B) {
+	input := inputSimplex(3)
+	p := syncmodel.Params{PerRound: 1, Total: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := syncmodel.Rounds(input, p, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !homology.IsKConnected(res.Complex, 0) {
+			b.Fatal("Lemma 17 violated")
+		}
+	}
+}
+
+func BenchmarkE8SyncBoundTable(b *testing.B) {
+	inputs := []string{"0", "1", "2"}
+	schedules := sim.EnumerateCrashSchedules(len(inputs), 1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cs := range schedules {
+			out, err := sim.RunSync(inputs, protocols.NewFloodSet(1), cs, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := out.CheckConsensus(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkE9SemiSyncOneRound(b *testing.B) {
+	input := inputSimplex(2)
+	p := semisync.Params{C1: 1, C2: 2, D: 2, PerRound: 1, Total: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := semisync.OneRound(input, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Complex.IsEmpty() {
+			b.Fatal("empty complex")
+		}
+	}
+}
+
+func BenchmarkE10SemiSyncBound(b *testing.B) {
+	timing := sim.Timing{C1: 1, C2: 2, D: 2}
+	inputs := []string{"2", "0", "1"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := sim.RunTimed(inputs, protocols.NewSemiSyncKSet(1, 1), timing,
+			sim.LockstepSchedule{Timing: timing}, nil, 10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lb, err := bounds.SemiSyncTimeLowerBound(1, 1, timing.C1, timing.C2, timing.D)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, at := range run.DecidedAt {
+			if float64(at) < lb.Float() {
+				b.Fatal("decision below the lower bound")
+			}
+		}
+	}
+}
+
+func BenchmarkE11PseudosphereAlgebra(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E11PseudosphereAlgebra(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12Sperner(b *testing.B) {
+	base := inputSimplex(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd, carrier, err := sperner.Subdivide(base, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col := sperner.FirstOwnerColoring(sd, carrier)
+		if _, err := sperner.VerifyLemma(base, sd, carrier, col); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches for engine design choices ---
+
+// BenchmarkAblationHomologySparseZ2 measures the production engine (sparse
+// GF(2) column reduction) on a mid-sized protocol complex.
+func BenchmarkAblationHomologySparseZ2(b *testing.B) {
+	res, err := asyncmodel.OneRound(inputSimplex(3), asyncmodel.Params{N: 3, F: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if homology.BettiZ2(res.Complex)[0] != 1 {
+			b.Fatal("unexpected homology")
+		}
+	}
+}
+
+// BenchmarkAblationHomologyDenseGFp measures the dense GF(3) fallback on
+// the same complex; the gap justifies the sparse default.
+func BenchmarkAblationHomologyDenseGFp(b *testing.B) {
+	res, err := asyncmodel.OneRound(inputSimplex(2), asyncmodel.Params{N: 2, F: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		betti, err := homology.BettiGFp(res.Complex, 3)
+		if err != nil || betti[0] != 1 {
+			b.Fatal("unexpected homology")
+		}
+	}
+}
+
+// BenchmarkAblationConsensusFastPath measures the exact k=1 component
+// procedure against the generic backtracking search on the same instance.
+func BenchmarkAblationConsensusFastPath(b *testing.B) {
+	res, err := asyncmodel.RoundsOverInputs([]string{"0", "1"}, asyncmodel.Params{N: 2, F: 1}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ann := task.AnnotateViews(res.Complex, res.Views)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, found, err := task.FindDecision(ann, 1, 0); err != nil || found {
+			b.Fatal("consensus should be impossible")
+		}
+	}
+}
+
+// BenchmarkAblationSearchBacktracking exercises the generic search (k=2,
+// solvable instance) for comparison with the fast path above.
+func BenchmarkAblationSearchBacktracking(b *testing.B) {
+	res, err := asyncmodel.RoundsOverInputs([]string{"0", "1", "2"}, asyncmodel.Params{N: 2, F: 1}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ann := task.AnnotateViews(res.Complex, res.Views)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, found, err := task.FindDecision(ann, 2, 0); err != nil || !found {
+			b.Fatal("2-set agreement should be solvable")
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command bounds prints the paper's quantitative lower bounds as tables:
+// Corollary 13 (asynchronous solvability), Theorem 18 (synchronous round
+// bound), and Corollary 22 (semi-synchronous wait-free time bound).
+//
+// Usage:
+//
+//	bounds [-maxf 6] [-maxk 3] [-c1 1] [-c2 2] [-d 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pseudosphere/internal/bounds"
+)
+
+func main() {
+	maxF := flag.Int("maxf", 6, "maximum failure bound to tabulate")
+	maxK := flag.Int("maxk", 3, "maximum agreement parameter to tabulate")
+	c1 := flag.Int("c1", 1, "semisync: min step interval")
+	c2 := flag.Int("c2", 2, "semisync: max step interval")
+	d := flag.Int("d", 4, "semisync: max delivery delay")
+	flag.Parse()
+	if err := run(os.Stdout, *maxF, *maxK, *c1, *c2, *d); err != nil {
+		fmt.Fprintln(os.Stderr, "bounds:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, maxF, maxK, c1, c2, d int) error {
+	if maxF < 0 || maxK < 1 {
+		return fmt.Errorf("need maxf >= 0 and maxk >= 1")
+	}
+
+	fmt.Fprintln(w, "Corollary 13 — asynchronous f-resilient k-set agreement")
+	fmt.Fprintln(w, "  solvable iff k > f")
+	fmt.Fprintf(w, "  %-4s", "k\\f")
+	for f := 0; f <= maxF; f++ {
+		fmt.Fprintf(w, " %3d", f)
+	}
+	fmt.Fprintln(w)
+	for k := 1; k <= maxK; k++ {
+		fmt.Fprintf(w, "  %-4d", k)
+		for f := 0; f <= maxF; f++ {
+			mark := "no"
+			if bounds.AsyncSolvable(k, f) {
+				mark = "yes"
+			}
+			fmt.Fprintf(w, " %3s", mark)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Theorem 18 — synchronous round lower bound (n >= f+k): floor(f/k)+1")
+	fmt.Fprintf(w, "  %-4s", "k\\f")
+	for f := 0; f <= maxF; f++ {
+		fmt.Fprintf(w, " %3d", f)
+	}
+	fmt.Fprintln(w)
+	for k := 1; k <= maxK; k++ {
+		fmt.Fprintf(w, "  %-4d", k)
+		for f := 0; f <= maxF; f++ {
+			r, err := bounds.SyncRoundLowerBound(f+k, f, k)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %3d", r)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Corollary 22 — semi-synchronous wait-free time bound, c1=%d c2=%d d=%d (C=%d/%d)\n", c1, c2, d, c2, c1)
+	fmt.Fprintln(w, "  floor(f/k)*d + C*d")
+	fmt.Fprintf(w, "  %-4s", "k\\f")
+	for f := 0; f <= maxF; f++ {
+		fmt.Fprintf(w, " %7d", f)
+	}
+	fmt.Fprintln(w)
+	for k := 1; k <= maxK; k++ {
+		fmt.Fprintf(w, "  %-4d", k)
+		for f := 0; f <= maxF; f++ {
+			b, err := bounds.SemiSyncTimeLowerBound(f, k, c1, c2, d)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %7s", b.String())
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

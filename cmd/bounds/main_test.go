@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsAllThreeTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 3, 2, 1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Corollary 13", "Theorem 18", "Corollary 22", "floor(f/k)*d + C*d"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadRanges(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, -1, 1, 1, 2, 4); err == nil {
+		t.Fatal("negative maxf accepted")
+	}
+	if err := run(&buf, 1, 0, 1, 2, 4); err == nil {
+		t.Fatal("maxk=0 accepted")
+	}
+	if err := run(&buf, 1, 1, 2, 1, 4); err == nil {
+		t.Fatal("c2 < c1 accepted")
+	}
+}

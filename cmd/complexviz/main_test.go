@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "pseudosphere", 1, "0,1", 1, 1, 1, 2, 2, "dot"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "graph") || strings.Count(out, "--") != 4 {
+		t.Fatalf("DOT output:\n%s", out)
+	}
+}
+
+func TestRunJSONModels(t *testing.T) {
+	for _, what := range []string{"async", "sync", "semisync"} {
+		var buf bytes.Buffer
+		if err := run(&buf, what, 2, "0,1", 1, 1, 1, 2, 2, "json"); err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if !strings.Contains(buf.String(), "\"facets\"") {
+			t.Fatalf("%s JSON output:\n%s", what, buf.String())
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "torus", 2, "0,1", 1, 1, 1, 2, 2, "dot"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := run(&buf, "sync", 2, "0,1", 1, 1, 1, 2, 2, "png"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

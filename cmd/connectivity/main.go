@@ -1,0 +1,118 @@
+// Command connectivity builds the r-round protocol complex of one of the
+// three models and reports its connectivity against the paper's
+// prediction.
+//
+// Usage:
+//
+//	connectivity -model async -n 2 -f 1 -r 1 [-m 2]
+//	connectivity -model sync -n 3 -k 1 -r 2
+//	connectivity -model semisync -n 2 -k 1 -r 1 -c1 1 -c2 2 -d 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pseudosphere/internal/asyncmodel"
+	"pseudosphere/internal/homology"
+	"pseudosphere/internal/semisync"
+	"pseudosphere/internal/syncmodel"
+	"pseudosphere/internal/topology"
+)
+
+type config struct {
+	model      string
+	n, m, f, k int
+	r          int
+	c1, c2, d  int
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.model, "model", "async", "async, sync, or semisync")
+	flag.IntVar(&cfg.n, "n", 2, "dimension of the full process simplex (n+1 processes)")
+	flag.IntVar(&cfg.m, "m", -1, "participating face dimension (default n)")
+	flag.IntVar(&cfg.f, "f", 1, "total failure bound (async: the only bound)")
+	flag.IntVar(&cfg.k, "k", 1, "per-round failure bound (sync/semisync)")
+	flag.IntVar(&cfg.r, "r", 1, "number of rounds")
+	flag.IntVar(&cfg.c1, "c1", 1, "semisync: min step interval")
+	flag.IntVar(&cfg.c2, "c2", 2, "semisync: max step interval")
+	flag.IntVar(&cfg.d, "d", 2, "semisync: max delivery delay")
+	flag.Parse()
+	if err := run(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "connectivity:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, cfg config) error {
+	if cfg.m < 0 {
+		cfg.m = cfg.n
+	}
+	if cfg.m > cfg.n {
+		return fmt.Errorf("m=%d exceeds n=%d", cfg.m, cfg.n)
+	}
+	input := inputSimplex(cfg.m)
+
+	var (
+		complexName string
+		c           *topology.Complex
+		target      int
+		condition   string
+	)
+	switch cfg.model {
+	case "async":
+		res, err := asyncmodel.Rounds(input, asyncmodel.Params{N: cfg.n, F: cfg.f}, cfg.r)
+		if err != nil {
+			return err
+		}
+		c = res.Complex
+		complexName = fmt.Sprintf("A^%d(S^%d), n=%d f=%d", cfg.r, cfg.m, cfg.n, cfg.f)
+		target = cfg.m - (cfg.n - cfg.f) - 1
+		condition = "Lemma 12"
+	case "sync":
+		res, err := syncmodel.Rounds(input, syncmodel.Params{PerRound: cfg.k, Total: cfg.r * cfg.k}, cfg.r)
+		if err != nil {
+			return err
+		}
+		c = res.Complex
+		complexName = fmt.Sprintf("S^%d(S^%d), n=%d k=%d", cfg.r, cfg.m, cfg.n, cfg.k)
+		target = cfg.m - (cfg.n - cfg.k) - 1
+		condition = fmt.Sprintf("Lemma 17 (requires n >= rk+k = %d)", cfg.r*cfg.k+cfg.k)
+	case "semisync":
+		p := semisync.Params{C1: cfg.c1, C2: cfg.c2, D: cfg.d, PerRound: cfg.k, Total: cfg.r * cfg.k}
+		res, err := semisync.Rounds(input, p, cfg.r)
+		if err != nil {
+			return err
+		}
+		c = res.Complex
+		complexName = fmt.Sprintf("M^%d(S^%d), n=%d k=%d p=%d", cfg.r, cfg.m, cfg.n, cfg.k, p.Micro())
+		target = cfg.m - (cfg.n - cfg.k) - 1
+		condition = fmt.Sprintf("Lemma 21 (requires n >= (r+1)k = %d)", (cfg.r+1)*cfg.k)
+	default:
+		return fmt.Errorf("unknown model %q", cfg.model)
+	}
+
+	fmt.Fprintf(w, "%s\n", complexName)
+	fmt.Fprintf(w, "f-vector:      %v\n", c.FVector())
+	fmt.Fprintf(w, "facets:        %d\n", len(c.Facets()))
+	conn := homology.Connectivity(c)
+	fmt.Fprintf(w, "connectivity:  %d\n", conn)
+	fmt.Fprintf(w, "paper target:  %d-connected per %s\n", target, condition)
+	if homology.IsKConnected(c, target) {
+		fmt.Fprintf(w, "verdict:       matches the paper\n")
+	} else {
+		fmt.Fprintf(w, "verdict:       BELOW the paper's prediction (check the side condition)\n")
+	}
+	return nil
+}
+
+func inputSimplex(m int) topology.Simplex {
+	vs := make([]topology.Vertex, m+1)
+	for i := range vs {
+		vs[i] = topology.Vertex{P: i, Label: string(rune('a' + i))}
+	}
+	return topology.MustSimplex(vs...)
+}

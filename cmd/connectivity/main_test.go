@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllModels(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  config
+		want string
+	}{
+		{
+			name: "async",
+			cfg:  config{model: "async", n: 2, m: -1, f: 1, r: 1},
+			want: "A^1(S^2), n=2 f=1",
+		},
+		{
+			name: "sync",
+			cfg:  config{model: "sync", n: 2, m: -1, k: 1, r: 1},
+			want: "S^1(S^2), n=2 k=1",
+		},
+		{
+			name: "semisync",
+			cfg:  config{model: "semisync", n: 2, m: -1, k: 1, r: 1, c1: 1, c2: 2, d: 2},
+			want: "M^1(S^2), n=2 k=1 p=2",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, tt.cfg); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, tt.want) {
+				t.Fatalf("output missing %q:\n%s", tt.want, out)
+			}
+			if !strings.Contains(out, "matches the paper") {
+				t.Fatalf("expected a matching verdict:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, config{model: "quantum", n: 2, m: -1}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run(&buf, config{model: "async", n: 1, m: 3, f: 1, r: 1}); err == nil {
+		t.Fatal("m > n accepted")
+	}
+}

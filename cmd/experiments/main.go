@@ -1,0 +1,58 @@
+// Command experiments regenerates every figure and quantitative result in
+// the paper (see DESIGN.md's experiment index E1-E12) and prints
+// paper-expected versus measured values.
+//
+// Usage:
+//
+//	experiments [-id E5] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pseudosphere/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "", "run a single experiment (e.g. E5); default all")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	flag.Parse()
+	if err := run(os.Stdout, *id, *markdown); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, id string, markdown bool) error {
+	all := experiments.All()
+	anyRun := false
+	mismatches := 0
+	for _, e := range all {
+		if id != "" && e.ID != id {
+			continue
+		}
+		anyRun = true
+		table, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if markdown {
+			fmt.Fprint(w, experiments.RenderMarkdown(table))
+		} else {
+			fmt.Fprintln(w, experiments.Render(table))
+		}
+		if !table.OK {
+			mismatches++
+		}
+	}
+	if !anyRun {
+		return fmt.Errorf("no experiment named %q", id)
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d experiment(s) had mismatching rows", mismatches)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "E1", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "ALL ROWS MATCH") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if strings.Contains(out, "E2") {
+		t.Fatal("unrequested experiment ran")
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "E2", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "### E2") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "E99", false); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

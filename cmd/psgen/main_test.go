@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFigure1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, "0,1", false, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"psi(S^2; {0,1})", "[6 12 8]", "Euler characteristic: 2", "[1 0 1]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunListsFacets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 1, "0,1", true, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "(P0:"); got != 4 {
+		t.Fatalf("facet lines = %d, want 4:\n%s", got, buf.String())
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, -1, "0,1", false, false); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if err := run(&buf, 1, "", false, false); err == nil {
+		t.Fatal("empty value set accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module pseudosphere
+
+go 1.22

@@ -1,0 +1,210 @@
+// Package asyncmodel implements Section 6 of the paper: the round-based
+// asynchronous protocol complex. In each round every participating process
+// sends its state to all others and receives at least n-f+1 of the
+// messages sent in that round (its own included) — the most it can count
+// on when up to f processes may crash. The one-round complex is a single
+// pseudosphere (Lemma 11); the r-round complex is built by inductively
+// applying the one-round construction to each simplex of the previous
+// round; it is (m-(n-f)-1)-connected (Lemma 12), which yields the
+// impossibility of f-resilient k-set agreement for k <= f (Corollary 13).
+package asyncmodel
+
+import (
+	"fmt"
+
+	"pseudosphere/internal/core"
+	"pseudosphere/internal/pc"
+	"pseudosphere/internal/topology"
+	"pseudosphere/internal/views"
+)
+
+// Params fixes the model: n+1 processes in the whole system and at most f
+// crash failures. n and f are global: when the construction recurses into
+// executions with fewer participants, the delivery threshold n-f+1 is
+// unchanged (Section 6).
+type Params struct {
+	N int // dimension of the full process simplex; n+1 processes total
+	F int // maximum number of crash failures
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.N < 0 {
+		return fmt.Errorf("asyncmodel: n must be nonnegative, got %d", p.N)
+	}
+	if p.F < 0 || p.F > p.N+1 {
+		return fmt.Errorf("asyncmodel: f must be in [0, n+1], got f=%d with n=%d", p.F, p.N)
+	}
+	return nil
+}
+
+// OneRound returns A^1(S): the complex of one-round executions starting
+// from input simplex S in which every participant hears from itself and at
+// least n-f other participants. If S has fewer than n-f+1 vertices the
+// complex is empty (the paper's convention for P(S^m) with m < n-f).
+func OneRound(input topology.Simplex, p Params) (*pc.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := pc.NewResult()
+	appendOneRound(res, pc.InputViews(input), p)
+	return res, nil
+}
+
+// appendOneRound adds every one-round facet reachable from the given
+// participant views to res and returns the facets as view lists.
+func appendOneRound(res *pc.Result, cur []*views.View, p Params) [][]*views.View {
+	m := len(cur) - 1
+	if m < p.N-p.F {
+		return nil
+	}
+	// Each participant independently hears from itself plus a subset of
+	// the other participants of size at least n-f.
+	options := make([][][]*views.View, len(cur)) // per participant: possible heard view-lists
+	for i := range cur {
+		others := make([]*views.View, 0, len(cur)-1)
+		for j, v := range cur {
+			if j != i {
+				others = append(others, v)
+			}
+		}
+		for _, sub := range subsetsOfViews(others, p.N-p.F) {
+			heard := append([]*views.View{cur[i]}, sub...)
+			options[i] = append(options[i], heard)
+		}
+	}
+	var facets [][]*views.View
+	idx := make([]int, len(cur))
+	for {
+		facet := make([]*views.View, len(cur))
+		for i := range cur {
+			heard := options[i][idx[i]]
+			hm := make(map[int]*views.View, len(heard))
+			for _, h := range heard {
+				hm[h.P] = h
+			}
+			facet[i] = views.Next(cur[i].P, hm)
+		}
+		res.AddFacet(facet)
+		facets = append(facets, facet)
+		j := len(idx) - 1
+		for j >= 0 {
+			idx[j]++
+			if idx[j] < len(options[j]) {
+				break
+			}
+			idx[j] = 0
+			j--
+		}
+		if j < 0 {
+			break
+		}
+	}
+	return facets
+}
+
+// Rounds returns A^r(S): the union of A^{r-1}(T) over the facets T of
+// A^1(S), per the inductive definition of Section 6. (Unioning over facets
+// suffices: for T' a face of T, A^{r-1}(T') is a subcomplex of A^{r-1}(T),
+// and closure under faces supplies the lower-dimensional simplexes; the
+// test suite checks this against the union over all simplexes.)
+func Rounds(input topology.Simplex, p Params, r int) (*pc.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("asyncmodel: negative round count %d", r)
+	}
+	res := pc.NewResult()
+	m := len(input) - 1
+	if m < p.N-p.F {
+		return res, nil
+	}
+	roundsRec(res, pc.InputViews(input), p, r)
+	return res, nil
+}
+
+func roundsRec(res *pc.Result, cur []*views.View, p Params, r int) {
+	if r == 0 {
+		res.AddFacet(cur)
+		return
+	}
+	// Intermediate rounds only thread views forward; only the final round's
+	// global states become simplexes of the r-round complex.
+	scratch := res
+	if r > 1 {
+		scratch = pc.NewResult()
+	}
+	for _, facet := range appendOneRound(scratch, cur, p) {
+		roundsRec(res, facet, p, r-1)
+	}
+}
+
+// subsetsOfViews enumerates all subsets of vs of size at least minSize.
+func subsetsOfViews(vs []*views.View, minSize int) [][]*views.View {
+	if minSize < 0 {
+		minSize = 0
+	}
+	var out [][]*views.View
+	n := len(vs)
+	for mask := 0; mask < 1<<n; mask++ {
+		var sub []*views.View
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, vs[i])
+			}
+		}
+		if len(sub) >= minSize {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// Lemma11Pseudosphere builds the abstract pseudosphere of Lemma 11:
+// psi(S^n; 2^{P-{P_0}}_{>= n-f}, ..., 2^{P-{P_n}}_{>= n-f}), whose vertex
+// labels are canonical encodings of the heard-from sets (excluding the
+// process itself).
+func Lemma11Pseudosphere(input topology.Simplex, p Params) (*topology.Complex, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ids := input.IDs()
+	if len(ids)-1 < p.N-p.F {
+		return topology.NewComplex(), nil
+	}
+	sets := make([][]string, len(input))
+	for i, v := range input {
+		others := make([]int, 0, len(ids)-1)
+		for _, q := range ids {
+			if q != v.P {
+				others = append(others, q)
+			}
+		}
+		sets[i] = core.SubsetsAtLeast(others, p.N-p.F)
+	}
+	return core.Pseudosphere(input, sets)
+}
+
+// Lemma11Map returns the explicit vertex isomorphism L of Lemma 11 from
+// the enumerated one-round complex onto the abstract pseudosphere:
+// L(P_i, M) = (s_i, ids(M) - {P_i}).
+func Lemma11Map(oneRound *pc.Result, input topology.Simplex) (topology.VertexMap, error) {
+	m := make(topology.VertexMap, len(oneRound.Views))
+	for vert, view := range oneRound.Views {
+		heard := view.HeardIDs()
+		others := make([]int, 0, len(heard))
+		for _, q := range heard {
+			if q != vert.P {
+				others = append(others, q)
+			}
+		}
+		label, ok := input.LabelOf(vert.P)
+		if !ok {
+			return nil, fmt.Errorf("asyncmodel: vertex %v has no input vertex", vert)
+		}
+		base := topology.Vertex{P: vert.P, Label: label}
+		m[vert] = core.VertexFor(base, core.EncodeIDSet(others))
+	}
+	return m, nil
+}

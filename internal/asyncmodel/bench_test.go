@@ -1,0 +1,46 @@
+package asyncmodel
+
+import "testing"
+
+func BenchmarkOneRoundN2F1(b *testing.B) {
+	input := inputSimplex("a", "b", "c")
+	p := Params{N: 2, F: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OneRound(input, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOneRoundN3F3(b *testing.B) {
+	input := inputSimplex("a", "b", "c", "d")
+	p := Params{N: 3, F: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OneRound(input, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwoRoundsN2F1(b *testing.B) {
+	input := inputSimplex("a", "b", "c")
+	p := Params{N: 2, F: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rounds(input, p, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundsOverInputs(b *testing.B) {
+	p := Params{N: 2, F: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RoundsOverInputs([]string{"0", "1"}, p, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

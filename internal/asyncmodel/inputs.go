@@ -1,0 +1,22 @@
+package asyncmodel
+
+import (
+	"pseudosphere/internal/core"
+	"pseudosphere/internal/pc"
+)
+
+// RoundsOverInputs returns A^r applied to the whole input complex
+// psi(P^n; values): the union of A^r(S) over every input simplex S. Shared
+// local states across different inputs share vertices because view
+// encodings are canonical.
+func RoundsOverInputs(values []string, p Params, r int) (*pc.Result, error) {
+	res := pc.NewResult()
+	for _, s := range core.InputFacets(p.N, values) {
+		sub, err := Rounds(s, p, r)
+		if err != nil {
+			return nil, err
+		}
+		res.Merge(sub)
+	}
+	return res, nil
+}

@@ -1,0 +1,103 @@
+// Package bounds collects the paper's quantitative results as small pure
+// functions, used by the experiment harness and the CLI tables:
+// Corollary 13 (asynchronous impossibility), Theorem 18 (synchronous round
+// lower bound), and Corollary 22 (semi-synchronous wait-free time lower
+// bound).
+package bounds
+
+import "fmt"
+
+// AsyncSolvable reports whether f-resilient k-set agreement is solvable in
+// the asynchronous model (Corollary 13): impossible iff k <= f. (For
+// k >= f+1 the standard protocol — wait for n+1-f inputs and decide the
+// smallest — solves it; internal/protocols implements it.)
+func AsyncSolvable(k, f int) bool {
+	return k > f
+}
+
+// SyncRoundLowerBound returns the round lower bound of Theorem 18 for
+// synchronous f-resilient k-set agreement with n+1 processes: floor(f/k)+1
+// rounds when n >= f+k, floor(f/k) rounds when n < f+k.
+func SyncRoundLowerBound(n, f, k int) (int, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("bounds: k must be positive, got %d", k)
+	}
+	if f < 0 || n < 0 {
+		return 0, fmt.Errorf("bounds: n and f must be nonnegative (n=%d, f=%d)", n, f)
+	}
+	if n >= f+k {
+		return f/k + 1, nil
+	}
+	return f / k, nil
+}
+
+// SyncRoundUpperBound returns the matching upper bound: floor(f/k)+1
+// rounds always suffice (the protocol of Chaudhuri, Herlihy, Lynch, and
+// Tuttle; internal/protocols implements it).
+func SyncRoundUpperBound(f, k int) (int, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("bounds: k must be positive, got %d", k)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("bounds: f must be nonnegative, got %d", f)
+	}
+	return f/k + 1, nil
+}
+
+// SemiSyncTime is the Corollary 22 wait-free time lower bound
+// floor(f/k)*d + C*d with C = c2/c1, expressed exactly as a rational
+// number of time units.
+type SemiSyncTime struct {
+	Num, Den int // the bound as the rational Num/Den
+}
+
+// Float returns the bound as a float64.
+func (t SemiSyncTime) Float() float64 { return float64(t.Num) / float64(t.Den) }
+
+// String renders the bound, e.g. "25/2".
+func (t SemiSyncTime) String() string {
+	if t.Den == 1 {
+		return fmt.Sprintf("%d", t.Num)
+	}
+	return fmt.Sprintf("%d/%d", t.Num, t.Den)
+}
+
+// SemiSyncTimeLowerBound returns floor(f/k)*d + (c2/c1)*d, the Corollary 22
+// wait-free lower bound on the time to solve k-set agreement with n+1 =
+// f+1 processes in the semi-synchronous model.
+func SemiSyncTimeLowerBound(f, k, c1, c2, d int) (SemiSyncTime, error) {
+	if k <= 0 {
+		return SemiSyncTime{}, fmt.Errorf("bounds: k must be positive, got %d", k)
+	}
+	if f < 0 {
+		return SemiSyncTime{}, fmt.Errorf("bounds: f must be nonnegative, got %d", f)
+	}
+	if c1 <= 0 || c2 < c1 || d < c1 {
+		return SemiSyncTime{}, fmt.Errorf("bounds: need 0 < c1 <= c2 and d >= c1 (c1=%d, c2=%d, d=%d)", c1, c2, d)
+	}
+	num := (f/k)*d*c1 + c2*d
+	den := c1
+	g := gcd(num, den)
+	return SemiSyncTime{Num: num / g, Den: den / g}, nil
+}
+
+// SemiSyncRoundsUsable returns the largest r such that the r-round
+// semi-synchronous complex stays (k-1)-connected in the wait-free setting
+// of Corollary 22: with n+1 = (r+1)k + 1 processes, r = floor(f/k) rounds
+// are available from the failure budget f = (r+1)k.
+func SemiSyncRoundsUsable(f, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	return f / k
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,106 @@
+package bounds
+
+import "testing"
+
+func TestAsyncSolvable(t *testing.T) {
+	tests := []struct {
+		k, f int
+		want bool
+	}{
+		{1, 0, true},
+		{1, 1, false},
+		{2, 1, true},
+		{2, 2, false},
+		{3, 5, false},
+		{6, 5, true},
+	}
+	for _, tt := range tests {
+		if got := AsyncSolvable(tt.k, tt.f); got != tt.want {
+			t.Errorf("AsyncSolvable(%d, %d) = %v, want %v", tt.k, tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestSyncRoundLowerBound(t *testing.T) {
+	tests := []struct {
+		n, f, k int
+		want    int
+	}{
+		{2, 1, 1, 2},  // consensus, one failure: 2 rounds
+		{5, 3, 1, 4},  // f+1 rounds for consensus
+		{5, 3, 2, 2},  // floor(3/2)+1
+		{6, 4, 2, 3},  // floor(4/2)+1 (n >= f+k)
+		{5, 4, 2, 2},  // n < f+k: floor(4/2)
+		{2, 2, 1, 2},  // n < f+k: floor(f/k) = 2
+		{3, 3, 2, 1},  // n < f+k: floor(3/2) = 1
+		{10, 6, 3, 3}, // floor(6/3)+1
+	}
+	for _, tt := range tests {
+		got, err := SyncRoundLowerBound(tt.n, tt.f, tt.k)
+		if err != nil {
+			t.Fatalf("SyncRoundLowerBound(%d,%d,%d): %v", tt.n, tt.f, tt.k, err)
+		}
+		if got != tt.want {
+			t.Errorf("SyncRoundLowerBound(%d,%d,%d) = %d, want %d", tt.n, tt.f, tt.k, got, tt.want)
+		}
+	}
+	if _, err := SyncRoundLowerBound(2, 1, 0); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+	if _, err := SyncRoundLowerBound(-1, 1, 1); err == nil {
+		t.Error("negative n must be rejected")
+	}
+}
+
+func TestSyncUpperMatchesLowerWhenRoomy(t *testing.T) {
+	// With n >= f+k, the lower and upper bounds coincide: the bound is
+	// tight.
+	for f := 0; f <= 6; f++ {
+		for k := 1; k <= 3; k++ {
+			n := f + k // exactly roomy enough
+			lo, err := SyncRoundLowerBound(n, f, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hi, err := SyncRoundUpperBound(f, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lo != hi {
+				t.Errorf("n=%d f=%d k=%d: lower %d != upper %d", n, f, k, lo, hi)
+			}
+		}
+	}
+}
+
+func TestSemiSyncTimeLowerBound(t *testing.T) {
+	b, err := SemiSyncTimeLowerBound(2, 1, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Num != 10 || b.Den != 1 || b.String() != "10" {
+		t.Fatalf("bound = %v", b)
+	}
+	b, err = SemiSyncTimeLowerBound(3, 2, 2, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "25/2" || b.Float() != 12.5 {
+		t.Fatalf("bound = %v (%v)", b, b.Float())
+	}
+	if _, err := SemiSyncTimeLowerBound(1, 0, 1, 1, 1); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+	if _, err := SemiSyncTimeLowerBound(1, 1, 2, 1, 3); err == nil {
+		t.Error("c2 < c1 must be rejected")
+	}
+}
+
+func TestSemiSyncRoundsUsable(t *testing.T) {
+	if got := SemiSyncRoundsUsable(6, 2); got != 3 {
+		t.Fatalf("rounds = %d, want 3", got)
+	}
+	if got := SemiSyncRoundsUsable(1, 2); got != 0 {
+		t.Fatalf("rounds = %d, want 0", got)
+	}
+}

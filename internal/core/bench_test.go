@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+func BenchmarkPseudosphereBinary(b *testing.B) {
+	base := ProcessSimplex(3)
+	for i := 0; i < b.N; i++ {
+		MustUniform(base, []string{"0", "1"})
+	}
+}
+
+func BenchmarkPseudosphereTernary(b *testing.B) {
+	base := ProcessSimplex(3)
+	for i := 0; i < b.N; i++ {
+		MustUniform(base, []string{"0", "1", "2"})
+	}
+}
+
+func BenchmarkSubsetsAtLeast(b *testing.B) {
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SubsetsAtLeast(ids, 4)
+	}
+}
+
+func BenchmarkInputFacets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		InputFacets(3, []string{"0", "1", "2"})
+	}
+}

@@ -1,0 +1,36 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pseudosphere/internal/core"
+	"pseudosphere/internal/homology"
+)
+
+// ExamplePseudosphere builds Figure 1's pseudosphere and prints its
+// f-vector and homology.
+func ExamplePseudosphere() {
+	ps := core.MustUniform(core.ProcessSimplex(2), []string{"0", "1"})
+	fmt.Println(ps.FVector())
+	fmt.Println(homology.BettiZ2(ps))
+	// Output:
+	// [6 12 8]
+	// [1 0 1]
+}
+
+// ExampleInputComplex shows the k-set agreement input complex.
+func ExampleInputComplex() {
+	ic := core.InputComplex(1, []string{"a", "b", "c"})
+	fmt.Println(len(ic.Facets()), "possible input assignments")
+	// Output: 9 possible input assignments
+}
+
+// ExampleEncodeIDSet shows the canonical heard-set encoding used by the
+// model packages.
+func ExampleEncodeIDSet() {
+	fmt.Println(core.EncodeIDSet([]int{3, 0, 2}))
+	fmt.Println(core.EncodeIDSet(nil))
+	// Output:
+	// {0,2,3}
+	// {}
+}

@@ -1,0 +1,67 @@
+package homology
+
+import (
+	"testing"
+
+	"pseudosphere/internal/topology"
+)
+
+func benchSphereProduct(labels int) *topology.Complex {
+	c := topology.NewComplex()
+	for a := 0; a < labels; a++ {
+		for b := 0; b < labels; b++ {
+			for d := 0; d < labels; d++ {
+				c.Add(topology.MustSimplex(
+					topology.Vertex{P: 0, Label: string(rune('a' + a))},
+					topology.Vertex{P: 1, Label: string(rune('a' + b))},
+					topology.Vertex{P: 2, Label: string(rune('a' + d))},
+				))
+			}
+		}
+	}
+	return c
+}
+
+func BenchmarkBettiZ2(b *testing.B) {
+	c := benchSphereProduct(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BettiZ2(c)
+	}
+}
+
+func BenchmarkBettiGFp(b *testing.B) {
+	c := benchSphereProduct(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BettiGFp(c, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBettiQ(b *testing.B) {
+	c := benchSphereProduct(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BettiQ(c)
+	}
+}
+
+func BenchmarkPi1Trivial(b *testing.B) {
+	c := benchSphereProduct(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pi1Trivial(c)
+	}
+}
+
+func BenchmarkIsGraphConnected(b *testing.B) {
+	c := benchSphereProduct(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !IsGraphConnected(c) {
+			b.Fatal("disconnected")
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package homology
+
+import (
+	"testing"
+
+	"pseudosphere/internal/topology"
+)
+
+func v(p int, label string) topology.Vertex { return topology.Vertex{P: p, Label: label} }
+
+// hollowTriangle is the boundary of a triangle: a circle.
+func hollowTriangle() *topology.Complex {
+	c := topology.NewComplex()
+	c.Add(topology.MustSimplex(v(0, "a"), v(1, "b")))
+	c.Add(topology.MustSimplex(v(1, "b"), v(2, "c")))
+	c.Add(topology.MustSimplex(v(0, "a"), v(2, "c")))
+	return c
+}
+
+// hollowTetrahedron is the boundary of a 3-simplex: a 2-sphere.
+func hollowTetrahedron() *topology.Complex {
+	full := topology.MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"), v(3, "d"))
+	c := topology.NewComplex()
+	for i := 0; i < 4; i++ {
+		c.Add(full.Face(i))
+	}
+	return c
+}
+
+func solidTriangle() *topology.Complex {
+	return topology.ComplexOf(topology.MustSimplex(v(0, "a"), v(1, "b"), v(2, "c")))
+}
+
+func TestBettiPoint(t *testing.T) {
+	c := topology.ComplexOf(topology.MustSimplex(v(0, "a")))
+	got := BettiZ2(c)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("betti(point) = %v, want [1]", got)
+	}
+}
+
+func TestBettiTwoPoints(t *testing.T) {
+	c := topology.ComplexOf(topology.MustSimplex(v(0, "a")), topology.MustSimplex(v(0, "b")))
+	if got := BettiZ2(c); got[0] != 2 {
+		t.Fatalf("betti = %v, want b0=2", got)
+	}
+	if IsKConnected(c, 0) {
+		t.Fatal("disconnected complex reported 0-connected")
+	}
+	if !IsKConnected(c, -1) {
+		t.Fatal("nonempty complex must be (-1)-connected")
+	}
+}
+
+func TestBettiCircle(t *testing.T) {
+	got := BettiZ2(hollowTriangle())
+	want := []int{1, 1}
+	for d := range want {
+		if got[d] != want[d] {
+			t.Fatalf("betti(circle) = %v, want %v", got, want)
+		}
+	}
+	if IsKConnected(hollowTriangle(), 1) {
+		t.Fatal("circle reported 1-connected")
+	}
+	if !IsKConnected(hollowTriangle(), 0) {
+		t.Fatal("circle is 0-connected")
+	}
+	if Connectivity(hollowTriangle()) != 0 {
+		t.Fatalf("connectivity(circle) = %d, want 0", Connectivity(hollowTriangle()))
+	}
+}
+
+func TestBettiSolidTriangle(t *testing.T) {
+	got := BettiZ2(solidTriangle())
+	if got[0] != 1 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("betti(disk) = %v, want [1 0 0]", got)
+	}
+	if !IsKConnected(solidTriangle(), 2) {
+		t.Fatal("contractible complex should be 2-connected")
+	}
+}
+
+func TestBettiSphere(t *testing.T) {
+	got := BettiZ2(hollowTetrahedron())
+	want := []int{1, 0, 1}
+	for d := range want {
+		if got[d] != want[d] {
+			t.Fatalf("betti(S^2) = %v, want %v", got, want)
+		}
+	}
+	if !IsKConnected(hollowTetrahedron(), 1) {
+		t.Fatal("sphere is 1-connected")
+	}
+	if IsKConnected(hollowTetrahedron(), 2) {
+		t.Fatal("sphere is not 2-connected")
+	}
+}
+
+func TestEmptyComplexConventions(t *testing.T) {
+	c := topology.NewComplex()
+	if IsKConnected(c, -1) {
+		t.Fatal("empty complex is not (-1)-connected")
+	}
+	if !IsKConnected(c, -2) {
+		t.Fatal("every complex is k-connected for k < -1")
+	}
+	if Connectivity(c) != -2 {
+		t.Fatalf("connectivity(empty) = %d", Connectivity(c))
+	}
+}
+
+func TestFieldAgreement(t *testing.T) {
+	for name, c := range map[string]*topology.Complex{
+		"circle": hollowTriangle(),
+		"sphere": hollowTetrahedron(),
+		"disk":   solidTriangle(),
+	} {
+		z2 := BettiZ2(c)
+		q := BettiQ(c)
+		gf3, err := BettiGFp(c, 3)
+		if err != nil {
+			t.Fatalf("%s: GF(3): %v", name, err)
+		}
+		gf2, err := BettiGFp(c, 2)
+		if err != nil {
+			t.Fatalf("%s: GF(2): %v", name, err)
+		}
+		for d := range z2 {
+			if z2[d] != q[d] || z2[d] != gf3[d] || z2[d] != gf2[d] {
+				t.Fatalf("%s: field mismatch at dim %d: Z2=%v Q=%v GF3=%v GF2dense=%v", name, d, z2, q, gf3, gf2)
+			}
+		}
+	}
+}
+
+func TestGraphConnectedMatchesHomology(t *testing.T) {
+	cases := []*topology.Complex{
+		hollowTriangle(),
+		hollowTetrahedron(),
+		solidTriangle(),
+		topology.ComplexOf(topology.MustSimplex(v(0, "a")), topology.MustSimplex(v(0, "b"))),
+	}
+	for i, c := range cases {
+		if IsGraphConnected(c) != IsKConnected(c, 0) {
+			t.Fatalf("case %d: graph connectivity disagrees with homology", i)
+		}
+	}
+}
+
+func TestPi1(t *testing.T) {
+	if trivial, conclusive := Pi1Trivial(solidTriangle()); !trivial || !conclusive {
+		t.Fatalf("pi1(disk): trivial=%v conclusive=%v", trivial, conclusive)
+	}
+	if trivial, conclusive := Pi1Trivial(hollowTetrahedron()); !trivial || !conclusive {
+		t.Fatalf("pi1(S^2): trivial=%v conclusive=%v", trivial, conclusive)
+	}
+	if trivial, conclusive := Pi1Trivial(hollowTriangle()); trivial || !conclusive {
+		t.Fatalf("pi1(circle): trivial=%v conclusive=%v (circle has pi1 = Z)", trivial, conclusive)
+	}
+}
+
+func TestMayerVietorisOnCircleDecomposition(t *testing.T) {
+	// Decompose the circle into two arcs whose intersection is two points:
+	// hypothesis at conn=0 fails (intersection disconnected), and indeed
+	// the union is 0- but not 1-connected.
+	upper := topology.ComplexOf(
+		topology.MustSimplex(v(0, "a"), v(1, "b")),
+		topology.MustSimplex(v(1, "b"), v(2, "c")),
+	)
+	lower := topology.ComplexOf(topology.MustSimplex(v(0, "a"), v(2, "c")))
+	hyp, concl := VerifyMayerVietoris(upper, lower, 1)
+	if hyp {
+		t.Fatal("hypothesis should fail: intersection is two points, not 0-connected")
+	}
+	if concl {
+		t.Fatal("circle is not 1-connected")
+	}
+	// At conn=0 the hypothesis holds (intersection nonempty = (-1)-connected)
+	// and the union is 0-connected.
+	hyp, concl = VerifyMayerVietoris(upper, lower, 0)
+	if !hyp || !concl {
+		t.Fatalf("conn=0: hyp=%v concl=%v, want both true", hyp, concl)
+	}
+}

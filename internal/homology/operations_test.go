@@ -1,0 +1,142 @@
+package homology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pseudosphere/internal/topology"
+)
+
+// TestConeIsContractible validates the engine on cones: the cone over any
+// complex is contractible (trivial reduced homology in all degrees).
+func TestConeIsContractible(t *testing.T) {
+	for name, c := range map[string]*topology.Complex{
+		"circle":     hollowTriangle(),
+		"sphere":     hollowTetrahedron(),
+		"two points": topology.ComplexOf(topology.MustSimplex(v(0, "a")), topology.MustSimplex(v(0, "b"))),
+	} {
+		cone, err := topology.Cone(c, topology.Vertex{P: 9, Label: "apex"})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		betti := ReducedBettiZ2(cone)
+		for d, b := range betti {
+			if b != 0 {
+				t.Fatalf("%s: cone has reduced betti %v at dim %d", name, betti, d)
+			}
+		}
+		if trivial, conclusive := Pi1Trivial(cone); conclusive && !trivial {
+			t.Fatalf("%s: cone reported with nontrivial pi1", name)
+		}
+	}
+}
+
+// TestSuspensionShiftsHomology validates the suspension isomorphism:
+// reduced H_{d+1}(SX) = reduced H_d(X).
+func TestSuspensionShiftsHomology(t *testing.T) {
+	cases := []*topology.Complex{
+		hollowTriangle(),    // circle -> suspension is a 2-sphere
+		hollowTetrahedron(), // 2-sphere -> suspension is a 3-sphere
+		twoPointComplex(),   // S^0 -> suspension is a circle
+	}
+	for i, c := range cases {
+		sus, err := topology.Suspension(c, topology.Vertex{P: 8, Label: "n"}, topology.Vertex{P: 9, Label: "s"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := ReducedBettiZ2(c)
+		shifted := ReducedBettiZ2(sus)
+		if shifted[0] != 0 {
+			t.Fatalf("case %d: suspension disconnected: %v", i, shifted)
+		}
+		for d := 0; d < len(orig); d++ {
+			want := orig[d]
+			got := 0
+			if d+1 < len(shifted) {
+				got = shifted[d+1]
+			}
+			if got != want {
+				t.Fatalf("case %d: H_%d(SX) = %d, want H_%d(X) = %d (orig %v, shifted %v)",
+					i, d+1, got, d, want, orig, shifted)
+			}
+		}
+	}
+}
+
+func twoPointComplex() *topology.Complex {
+	return topology.ComplexOf(topology.MustSimplex(v(0, "a")), topology.MustSimplex(v(0, "b")))
+}
+
+// TestComponentsMatchB0 property-checks that the number of connected
+// components equals the 0th Betti number on random edge complexes.
+func TestComponentsMatchB0(t *testing.T) {
+	prop := func(edges [6][2]uint8) bool {
+		c := topology.NewComplex()
+		for _, e := range edges {
+			a := topology.Vertex{P: 0, Label: string(rune('a' + e[0]%4))}
+			b := topology.Vertex{P: 1, Label: string(rune('a' + e[1]%4))}
+			c.Add(topology.MustSimplex(a, b))
+		}
+		return len(c.ConnectedComponents()) == BettiZ2(c)[0]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEulerCharacteristicMatchesBetti property-checks the Euler-Poincare
+// formula chi = sum (-1)^d b_d on random 2-dimensional complexes.
+func TestEulerCharacteristicMatchesBetti(t *testing.T) {
+	prop := func(tris [3][3]uint8, edges [3][2]uint8) bool {
+		c := topology.NewComplex()
+		for _, tr := range tris {
+			c.Add(topology.MustSimplex(
+				topology.Vertex{P: 0, Label: string(rune('a' + tr[0]%3))},
+				topology.Vertex{P: 1, Label: string(rune('a' + tr[1]%3))},
+				topology.Vertex{P: 2, Label: string(rune('a' + tr[2]%3))},
+			))
+		}
+		for _, e := range edges {
+			c.Add(topology.MustSimplex(
+				topology.Vertex{P: 0, Label: string(rune('a' + e[0]%3))},
+				topology.Vertex{P: 1, Label: string(rune('a' + e[1]%3))},
+			))
+		}
+		chi := 0
+		for d, b := range BettiZ2(c) {
+			if d%2 == 0 {
+				chi += b
+			} else {
+				chi -= b
+			}
+		}
+		return chi == c.EulerCharacteristic()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMayerVietorisPropertyOnPseudosphereUnions property-checks Theorem 2
+// itself: on random unions of binary label complexes, whenever the
+// hypothesis holds the conclusion does.
+func TestMayerVietorisPropertyOnPseudosphereUnions(t *testing.T) {
+	prop := func(a, b [4][2]uint8, conn uint8) bool {
+		build := func(edges [4][2]uint8) *topology.Complex {
+			c := topology.NewComplex()
+			for _, e := range edges {
+				c.Add(topology.MustSimplex(
+					topology.Vertex{P: 0, Label: string(rune('a' + e[0]%3))},
+					topology.Vertex{P: 1, Label: string(rune('a' + e[1]%3))},
+				))
+			}
+			return c
+		}
+		k := int(conn % 2) // check at connectivity 0 and 1
+		hyp, concl := VerifyMayerVietoris(build(a), build(b), k)
+		return !hyp || concl
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

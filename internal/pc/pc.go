@@ -1,0 +1,56 @@
+// Package pc holds the protocol-complex result type shared by the three
+// model packages: a simplicial complex whose vertices are labeled with
+// canonical view encodings, together with the decoded view behind each
+// vertex.
+package pc
+
+import (
+	"pseudosphere/internal/topology"
+	"pseudosphere/internal/views"
+)
+
+// Result is a protocol complex with the full-information view behind every
+// vertex.
+type Result struct {
+	Complex *topology.Complex
+	Views   map[topology.Vertex]*views.View
+}
+
+// NewResult returns an empty result.
+func NewResult() *Result {
+	return &Result{
+		Complex: topology.NewComplex(),
+		Views:   make(map[topology.Vertex]*views.View),
+	}
+}
+
+// AddFacet records the global state given by one view per process as a
+// simplex (plus all faces) and returns it.
+func (r *Result) AddFacet(vs []*views.View) topology.Simplex {
+	verts := make([]topology.Vertex, len(vs))
+	for i, v := range vs {
+		verts[i] = topology.Vertex{P: v.P, Label: v.Encode()}
+		r.Views[verts[i]] = v
+	}
+	s := topology.MustSimplex(verts...)
+	r.Complex.Add(s)
+	return s
+}
+
+// Merge unions another result into r.
+func (r *Result) Merge(other *Result) {
+	r.Complex.UnionWith(other.Complex)
+	for v, view := range other.Views {
+		r.Views[v] = view
+	}
+}
+
+// InputViews converts an input simplex (vertex labels are input values)
+// into round-0 views.
+func InputViews(input topology.Simplex) []*views.View {
+	vs := make([]*views.View, len(input))
+	for i, v := range input {
+		vs[i] = views.Initial(v.P, v.Label)
+	}
+	return vs
+}

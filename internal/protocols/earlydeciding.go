@@ -1,0 +1,69 @@
+package protocols
+
+import "pseudosphere/internal/sim"
+
+// earlyDeciding is FloodSet with the classic early-stopping rule for crash
+// failures: a process decides as soon as it hears from the same set of
+// processes in two consecutive rounds (no failure became visible to it
+// during the round), and in any case by round f+1. In an execution with
+// f' actual crashes every process decides by round min(f'+2, f+1), so
+// failure-free executions finish in two rounds regardless of f. After
+// deciding, a process keeps flooding so that slower processes still learn
+// its values.
+type earlyDeciding struct {
+	self, n   int
+	f         int
+	known     map[string]bool
+	prevHeard map[int]bool
+	curHeard  map[int]bool
+	decided   bool
+	decision  string
+}
+
+// NewEarlyDecidingConsensus returns a factory for early-stopping consensus
+// tolerating f crashes.
+func NewEarlyDecidingConsensus(f int) sim.ProtocolFactory {
+	return func() sim.RoundProtocol { return &earlyDeciding{f: f} }
+}
+
+// Init implements sim.RoundProtocol.
+func (p *earlyDeciding) Init(self, n int, input string) {
+	p.self, p.n = self, n
+	p.known = map[string]bool{input: true}
+}
+
+// Message implements sim.RoundProtocol.
+func (p *earlyDeciding) Message(round int) string { return encodeSet(p.known) }
+
+// Deliver implements sim.RoundProtocol.
+func (p *earlyDeciding) Deliver(round, from int, payload string) {
+	decodeSet(payload, p.known)
+	if p.curHeard == nil {
+		p.curHeard = make(map[int]bool, p.n)
+	}
+	p.curHeard[from] = true
+}
+
+// EndRound implements sim.RoundProtocol.
+func (p *earlyDeciding) EndRound(round int) (bool, string) {
+	stable := p.prevHeard != nil && sameIntSet(p.prevHeard, p.curHeard)
+	p.prevHeard = p.curHeard
+	p.curHeard = nil
+	if !p.decided && (stable || round >= p.f+1) {
+		p.decided = true
+		p.decision = minOf(p.known)
+	}
+	return p.decided, p.decision
+}
+
+func sameIntSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for x := range a {
+		if !b[x] {
+			return false
+		}
+	}
+	return true
+}

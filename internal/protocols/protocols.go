@@ -1,0 +1,128 @@
+// Package protocols implements the matching upper-bound algorithms for the
+// paper's lower bounds, runnable on the internal/sim substrate:
+//
+//   - FloodSet consensus in the synchronous model (f+1 rounds; the k=1
+//     case of Theorem 18's bound floor(f/k)+1).
+//   - Synchronous k-set agreement by flooding for floor(f/k)+1 rounds
+//     (the Chaudhuri–Herlihy–Lynch–Tuttle upper bound).
+//   - Asynchronous f-resilient k-set agreement for k >= f+1: wait for
+//     n+1-f round-1 values and decide the minimum (the solvable side of
+//     Corollary 13).
+//   - Semi-synchronous k-set agreement by epoch flooding with timeouts
+//     (the solvable side of Corollary 22's time bound).
+//
+// Values are arbitrary strings not containing commas; decisions use
+// lexicographic order, so "minimum" means lexicographically smallest.
+package protocols
+
+import (
+	"sort"
+	"strings"
+
+	"pseudosphere/internal/sim"
+)
+
+// encodeSet encodes a value set as a canonical comma-joined string.
+func encodeSet(set map[string]bool) string {
+	vals := make([]string, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	return strings.Join(vals, ",")
+}
+
+// decodeSet merges an encoded value set into dst.
+func decodeSet(payload string, dst map[string]bool) {
+	if payload == "" {
+		return
+	}
+	for _, v := range strings.Split(payload, ",") {
+		dst[v] = true
+	}
+}
+
+// minOf returns the lexicographically smallest value in the set.
+func minOf(set map[string]bool) string {
+	min, first := "", true
+	for v := range set {
+		if first || v < min {
+			min, first = v, false
+		}
+	}
+	return min
+}
+
+// floodSet is the shared flooding machine behind the synchronous
+// protocols: broadcast everything known each round, decide the minimum
+// after a fixed number of rounds.
+type floodSet struct {
+	self, n int
+	rounds  int
+	known   map[string]bool
+}
+
+// Init implements sim.RoundProtocol.
+func (p *floodSet) Init(self, n int, input string) {
+	p.self, p.n = self, n
+	p.known = map[string]bool{input: true}
+}
+
+// Message implements sim.RoundProtocol.
+func (p *floodSet) Message(round int) string { return encodeSet(p.known) }
+
+// Deliver implements sim.RoundProtocol.
+func (p *floodSet) Deliver(round, from int, payload string) { decodeSet(payload, p.known) }
+
+// EndRound implements sim.RoundProtocol.
+func (p *floodSet) EndRound(round int) (bool, string) {
+	if round >= p.rounds {
+		return true, minOf(p.known)
+	}
+	return false, ""
+}
+
+// NewFloodSet returns a factory for FloodSet consensus tolerating f
+// crashes: flood for f+1 synchronous rounds, decide the minimum.
+func NewFloodSet(f int) sim.ProtocolFactory {
+	return func() sim.RoundProtocol { return &floodSet{rounds: f + 1} }
+}
+
+// NewSyncKSet returns a factory for synchronous k-set agreement tolerating
+// f crashes: flood for floor(f/k)+1 rounds, decide the minimum. For k = 1
+// this is FloodSet.
+func NewSyncKSet(f, k int) sim.ProtocolFactory {
+	return func() sim.RoundProtocol { return &floodSet{rounds: f/k + 1} }
+}
+
+// FloodSetRounds returns the round budget the flooding protocols use.
+func FloodSetRounds(f, k int) int { return f/k + 1 }
+
+// asyncKSet solves k-set agreement for k >= f+1 in one asynchronous round:
+// the runner delivers at least n-f+1 round-1 values; decide the minimum.
+type asyncKSet struct {
+	self, n int
+	known   map[string]bool
+}
+
+// Init implements sim.RoundProtocol.
+func (p *asyncKSet) Init(self, n int, input string) {
+	p.self, p.n = self, n
+	p.known = map[string]bool{input: true}
+}
+
+// Message implements sim.RoundProtocol.
+func (p *asyncKSet) Message(round int) string { return encodeSet(p.known) }
+
+// Deliver implements sim.RoundProtocol.
+func (p *asyncKSet) Deliver(round, from int, payload string) { decodeSet(payload, p.known) }
+
+// EndRound implements sim.RoundProtocol.
+func (p *asyncKSet) EndRound(round int) (bool, string) { return true, minOf(p.known) }
+
+// NewAsyncKSet returns a factory for the one-round asynchronous k-set
+// agreement protocol. It solves k-set agreement whenever k >= f+1
+// (Corollary 13 shows k <= f is impossible).
+func NewAsyncKSet() sim.ProtocolFactory {
+	return func() sim.RoundProtocol { return &asyncKSet{} }
+}

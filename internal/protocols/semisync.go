@@ -1,0 +1,56 @@
+package protocols
+
+import "pseudosphere/internal/sim"
+
+// semiSyncKSet solves k-set agreement in the semi-synchronous model by
+// epoch flooding: every process broadcasts its known set at every step and
+// decides the minimum once it is certain that floor(f/k)+1 epochs of
+// length c2+d have elapsed.
+//
+// An epoch is long enough that any value known to an alive process at its
+// start is known to every alive process at its end (one step within c2,
+// delivery within d). Over floor(f/k)+1 epochs with at most f crashes,
+// some epoch sees at most k-1 crashes, after which at most k candidate
+// minima remain in the system (the common minimum plus one per
+// mid-epoch-crashed process), so decisions number at most k.
+//
+// A process cannot read a global clock; it is certain that T time has
+// elapsed only after ceil(T/c1) of its own steps (each step takes at
+// least c1). Running at the slowest legal rate c2 this certainty costs
+// C*T time — the same step-counting argument that drives the Corollary 22
+// lower bound's C*d term.
+type semiSyncKSet struct {
+	self, n           int
+	timing            sim.Timing
+	decideAfterEpochs int
+	decideStep        int
+	steps             int
+	known             map[string]bool
+}
+
+// NewSemiSyncKSet returns a factory for semi-synchronous k-set agreement
+// tolerating f crashes.
+func NewSemiSyncKSet(f, k int) sim.TimedFactory {
+	return func() sim.TimedProtocol { return &semiSyncKSet{decideAfterEpochs: f/k + 1} }
+}
+
+// Init implements sim.TimedProtocol.
+func (p *semiSyncKSet) Init(self, n int, input string, timing sim.Timing) {
+	p.self, p.n, p.timing = self, n, timing
+	p.known = map[string]bool{input: true}
+	target := p.decideAfterEpochs * (timing.C2 + timing.D)
+	p.decideStep = (target + timing.C1 - 1) / timing.C1 // ceil(T / c1)
+}
+
+// Deliver implements sim.TimedProtocol.
+func (p *semiSyncKSet) Deliver(now, from int, payload string) { decodeSet(payload, p.known) }
+
+// Step implements sim.TimedProtocol.
+func (p *semiSyncKSet) Step(now int) (string, bool, string) {
+	p.steps++
+	payload := encodeSet(p.known)
+	if p.steps >= p.decideStep {
+		return payload, true, minOf(p.known)
+	}
+	return payload, false, ""
+}

@@ -1,0 +1,43 @@
+package semisync
+
+// Stretch captures the round-stretching argument behind Corollary 22. After
+// round r ends at time r*d, every message has been delivered. A process
+// can conclude that a full round elapsed without new messages only from
+// its own step count: after s steps it knows only that at least s*c1 time
+// passed, so it must take p = ceil(d/c1) steps before it can time out.
+// Running as slowly as possible (one step per c2), those p steps take
+// p*c2 time, which equals C*d (C = c2/c1) whenever c1 divides d. During
+// the whole window [r*d, r*d + p*c2) the solo process's state is
+// indistinguishable from its state in the unstretched execution at time
+// just before (r+1)*d, so no decision is possible before r*d + C*d.
+type Stretch struct {
+	Micro        int // p = ceil(d/c1): steps needed before a timeout is justified
+	StepTime     int // c2: slowest legal step interval
+	TimeoutAfter int // p*c2: earliest timeout after the last delivery
+}
+
+// NewStretch computes the stretch window for the given timing parameters.
+func NewStretch(p Params) Stretch {
+	micro := p.Micro()
+	return Stretch{
+		Micro:        micro,
+		StepTime:     p.C2,
+		TimeoutAfter: micro * p.C2,
+	}
+}
+
+// StepsBy returns how many steps a process running one step per c2 has
+// completed t time units after the round end.
+func (s Stretch) StepsBy(t int) int {
+	if t < 0 {
+		return 0
+	}
+	return t / s.StepTime
+}
+
+// DistinguishableAt reports whether the solo slow process can distinguish
+// the stretched execution from the pre-round execution t time units after
+// the round end: it can exactly when it has taken at least p steps.
+func (s Stretch) DistinguishableAt(t int) bool {
+	return s.StepsBy(t) >= s.Micro
+}

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pseudosphere/internal/task"
+)
+
+// DeliveryPlan tells the round engine which messages reach which receivers.
+// For a given round it returns, per receiver, per sender, the
+// highest-numbered round of that sender whose message is delivered to the
+// receiver by the end of this round (at most the current round; the engine
+// delivers any skipped earlier messages first, preserving FIFO order).
+// Missing entries mean "nothing new from that sender this round".
+type DeliveryPlan func(round int, alive []int) map[int]map[int]int
+
+// Engine drives one execution of a round-based protocol over a set of
+// process goroutines connected by channels, with crash injection. It
+// implements both the synchronous and the round-based asynchronous model,
+// differing only in the DeliveryPlan.
+type Engine struct {
+	n1        int // number of processes
+	factory   ProtocolFactory
+	inputs    []string
+	crashes   CrashSchedule
+	plan      DeliveryPlan
+	maxRounds int
+}
+
+// NewEngine validates and assembles an execution.
+func NewEngine(inputs []string, factory ProtocolFactory, crashes CrashSchedule, plan DeliveryPlan, maxRounds int) (*Engine, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("sim: no processes")
+	}
+	if maxRounds < 1 {
+		return nil, fmt.Errorf("sim: maxRounds must be at least 1, got %d", maxRounds)
+	}
+	if err := crashes.Validate(len(inputs), len(inputs)); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		n1:        len(inputs),
+		factory:   factory,
+		inputs:    inputs,
+		crashes:   crashes,
+		plan:      plan,
+		maxRounds: maxRounds,
+	}, nil
+}
+
+// procCmd is a request from the engine to a process goroutine.
+type procCmd struct {
+	round      int
+	deliveries []delivery // applied before EndRound
+	stop       bool
+}
+
+type delivery struct {
+	from    int
+	payload string
+}
+
+// procReply is a process goroutine's end-of-round response.
+type procReply struct {
+	decided  bool
+	decision string
+}
+
+// proc is the engine-side handle of a process goroutine.
+type proc struct {
+	id    int
+	cmds  chan procCmd
+	sends chan string    // round message, one per round
+	ends  chan procReply // end-of-round status
+}
+
+// Run executes the protocol to completion: until every non-crashed process
+// has decided or maxRounds have elapsed. It returns the observable outcome.
+func (e *Engine) Run() (*task.RunOutcome, error) {
+	procs := make([]*proc, e.n1)
+	var wg sync.WaitGroup
+	for i := 0; i < e.n1; i++ {
+		p := &proc{
+			id:    i,
+			cmds:  make(chan procCmd),
+			sends: make(chan string),
+			ends:  make(chan procReply),
+		}
+		procs[i] = p
+		inst := e.factory()
+		inst.Init(i, e.n1, e.inputs[i])
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runProc(p, inst)
+		}()
+	}
+	defer func() {
+		for _, p := range procs {
+			close(p.cmds)
+		}
+		wg.Wait()
+	}()
+
+	outcome := &task.RunOutcome{
+		Inputs:    make(map[int]string, e.n1),
+		Decisions: make(map[int]string, e.n1),
+		Crashed:   make(map[int]bool),
+	}
+	for i, in := range e.inputs {
+		outcome.Inputs[i] = in
+	}
+
+	history := make([][]string, e.n1)    // history[p][r-1] = p's round-r payload
+	lastDelivered := make([][]int, e.n1) // lastDelivered[recv][sender]
+	for i := range lastDelivered {
+		lastDelivered[i] = make([]int, e.n1)
+	}
+	crashed := make(map[int]bool)
+
+	for round := 1; round <= e.maxRounds; round++ {
+		alive := e.aliveAtStart(crashed, round)
+
+		// Phase 1: collect this round's messages from everyone still
+		// sending (alive processes and those crashing THIS round, which
+		// send a partial broadcast).
+		for _, p := range procs {
+			if crashed[p.id] {
+				continue
+			}
+			p.cmds <- procCmd{round: round}
+		}
+		for _, p := range procs {
+			if crashed[p.id] {
+				continue
+			}
+			history[p.id] = append(history[p.id], <-p.sends)
+		}
+
+		// Phase 2: compute deliveries.
+		planned := e.plan(round, alive)
+		for p, c := range e.crashes {
+			if c.Round == round {
+				crashed[p] = true
+				outcome.Crashed[p] = true
+			}
+		}
+		for _, recv := range procs {
+			if crashed[recv.id] {
+				continue
+			}
+			var ds []delivery
+			upTos := planned[recv.id]
+			senders := make([]int, 0, len(upTos))
+			for s := range upTos {
+				senders = append(senders, s)
+			}
+			sort.Ints(senders)
+			for _, s := range senders {
+				upTo := upTos[s]
+				if upTo > round {
+					return nil, fmt.Errorf("sim: plan delivers round-%d message in round %d", upTo, round)
+				}
+				if upTo > len(history[s]) {
+					upTo = len(history[s]) // sender stopped before that round
+				}
+				// Crash semantics: the crash-round message of s reaches
+				// only DeliveredTo; later messages do not exist.
+				if c, ok := e.crashes[s]; ok {
+					if upTo >= c.Round && !c.DeliveredTo[recv.id] {
+						upTo = c.Round - 1
+					}
+				}
+				for r := lastDelivered[recv.id][s] + 1; r <= upTo; r++ {
+					ds = append(ds, delivery{from: s, payload: history[s][r-1]})
+				}
+				if upTo > lastDelivered[recv.id][s] {
+					lastDelivered[recv.id][s] = upTo
+				}
+			}
+			recv.cmds <- procCmd{round: round, deliveries: ds, stop: true}
+		}
+
+		// Phase 3: end of round; gather decisions.
+		allDecided := true
+		for _, p := range procs {
+			if crashed[p.id] {
+				continue
+			}
+			reply := <-p.ends
+			if reply.decided {
+				outcome.Decisions[p.id] = reply.decision
+			} else {
+				allDecided = false
+			}
+		}
+		if allDecided {
+			break
+		}
+	}
+	return outcome, nil
+}
+
+// aliveAtStart lists processes that have not crashed before this round
+// (processes crashing this round still send).
+func (e *Engine) aliveAtStart(crashed map[int]bool, round int) []int {
+	var alive []int
+	for i := 0; i < e.n1; i++ {
+		if !crashed[i] {
+			alive = append(alive, i)
+		}
+	}
+	_ = round
+	return alive
+}
+
+// runProc is the process goroutine: it answers the engine's per-round
+// requests until its command channel closes.
+func runProc(p *proc, inst RoundProtocol) {
+	for cmd := range p.cmds {
+		if !cmd.stop {
+			// First request of the round: produce the broadcast message.
+			p.sends <- inst.Message(cmd.round)
+			continue
+		}
+		for _, d := range cmd.deliveries {
+			inst.Deliver(cmd.round, d.from, d.payload)
+		}
+		decided, decision := inst.EndRound(cmd.round)
+		p.ends <- procReply{decided: decided, decision: decision}
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+// EnumerateCrashSchedules generates every crash schedule with at most f
+// crashes among n1 processes within maxRound rounds, including every
+// choice of partial final broadcast. The count grows quickly; intended for
+// exhaustive adversarial testing at small scale.
+func EnumerateCrashSchedules(n1, f, maxRound int) []CrashSchedule {
+	procs := make([]int, n1)
+	for i := range procs {
+		procs[i] = i
+	}
+	var out []CrashSchedule
+	var choose func(start int, chosen []int)
+	choose = func(start int, chosen []int) {
+		out = append(out, expandCrashes(chosen, n1, maxRound)...)
+		if len(chosen) == f {
+			return
+		}
+		for i := start; i < n1; i++ {
+			choose(i+1, append(chosen, i))
+		}
+	}
+	choose(0, nil)
+	return dedupSchedules(out)
+}
+
+// expandCrashes enumerates round and partial-broadcast choices for a fixed
+// set of crashing processes.
+func expandCrashes(crashing []int, n1, maxRound int) []CrashSchedule {
+	if len(crashing) == 0 {
+		return []CrashSchedule{{}}
+	}
+	head, rest := crashing[0], crashing[1:]
+	tails := expandCrashes(rest, n1, maxRound)
+	var out []CrashSchedule
+	receivers := make([]int, 0, n1-1)
+	for q := 0; q < n1; q++ {
+		if q != head {
+			receivers = append(receivers, q)
+		}
+	}
+	for round := 1; round <= maxRound; round++ {
+		for mask := 0; mask < 1<<len(receivers); mask++ {
+			delivered := make(map[int]bool)
+			for i, q := range receivers {
+				if mask&(1<<i) != 0 {
+					delivered[q] = true
+				}
+			}
+			for _, tail := range tails {
+				cs := make(CrashSchedule, len(tail)+1)
+				for p, c := range tail {
+					cs[p] = c
+				}
+				cs[head] = Crash{Round: round, DeliveredTo: delivered}
+				out = append(out, cs)
+			}
+		}
+	}
+	return out
+}
+
+// dedupSchedules removes duplicates produced by the subset recursion
+// (shorter prefixes are re-emitted along the way).
+func dedupSchedules(in []CrashSchedule) []CrashSchedule {
+	seen := make(map[string]bool, len(in))
+	var out []CrashSchedule
+	for _, cs := range in {
+		k := scheduleKey(cs)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, cs)
+		}
+	}
+	return out
+}
+
+func scheduleKey(cs CrashSchedule) string {
+	// Deterministic encoding: processes in order.
+	key := ""
+	for p := 0; p < 64; p++ {
+		c, ok := cs[p]
+		if !ok {
+			continue
+		}
+		key += string(rune('A'+p)) + string(rune('0'+c.Round)) + ":"
+		for q := 0; q < 64; q++ {
+			if c.DeliveredTo[q] {
+				key += string(rune('a' + q))
+			}
+		}
+		key += ";"
+	}
+	return key
+}

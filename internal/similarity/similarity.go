@@ -1,0 +1,140 @@
+// Package similarity implements the indistinguishability notions the
+// paper's introduction builds on: two global states (facets of a protocol
+// complex) are similar to degree d+1 when d+1 processes have the same
+// local state in both, i.e. the corresponding simplexes share d+1
+// vertices. The classical similarity-chain argument — a path of
+// pairwise-similar global states connecting two executions with different
+// required outputs — is the one-dimensional shadow of the connectivity
+// machinery; this package makes it executable.
+package similarity
+
+import (
+	"fmt"
+
+	"pseudosphere/internal/topology"
+)
+
+// Degree returns the similarity degree of two global states: the number of
+// shared vertices (processes with identical local state in both).
+func Degree(s, t topology.Simplex) int {
+	return len(s.Intersect(t))
+}
+
+// Graph is the similarity graph over a set of global states: nodes are
+// facets, and edges join facets whose similarity degree is at least the
+// threshold.
+type Graph struct {
+	Facets    []topology.Simplex
+	Threshold int
+	adj       [][]int
+}
+
+// NewGraph builds the similarity graph over the facets of a complex with
+// the given degree threshold (>= 1).
+func NewGraph(c *topology.Complex, threshold int) (*Graph, error) {
+	if threshold < 1 {
+		return nil, fmt.Errorf("similarity: threshold must be at least 1, got %d", threshold)
+	}
+	facets := c.Facets()
+	g := &Graph{Facets: facets, Threshold: threshold, adj: make([][]int, len(facets))}
+	// Index facets by vertex for near-linear edge discovery.
+	byVertex := make(map[topology.Vertex][]int)
+	for i, f := range facets {
+		for _, v := range f {
+			byVertex[v] = append(byVertex[v], i)
+		}
+	}
+	seen := make(map[[2]int]bool)
+	for _, owners := range byVertex {
+		for i := 0; i < len(owners); i++ {
+			for j := i + 1; j < len(owners); j++ {
+				a, b := owners[i], owners[j]
+				key := [2]int{a, b}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if Degree(g.Facets[a], g.Facets[b]) >= threshold {
+					g.adj[a] = append(g.adj[a], b)
+					g.adj[b] = append(g.adj[b], a)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Chain returns a similarity chain (a path in the graph) from the facet
+// satisfying fromPred to the facet satisfying toPred, or nil if none
+// exists. BFS gives a shortest chain.
+func (g *Graph) Chain(fromPred, toPred func(topology.Simplex) bool) []topology.Simplex {
+	var starts []int
+	goal := func(i int) bool { return toPred(g.Facets[i]) }
+	for i, f := range g.Facets {
+		if fromPred(f) {
+			starts = append(starts, i)
+		}
+	}
+	prev := make(map[int]int, len(g.Facets))
+	visited := make(map[int]bool, len(g.Facets))
+	queue := make([]int, 0, len(starts))
+	for _, s := range starts {
+		visited[s] = true
+		prev[s] = -1
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if goal(cur) {
+			var path []topology.Simplex
+			for i := cur; i != -1; i = prev[i] {
+				path = append([]topology.Simplex{g.Facets[i]}, path...)
+			}
+			return path
+		}
+		for _, nb := range g.adj[cur] {
+			if !visited[nb] {
+				visited[nb] = true
+				prev[nb] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return nil
+}
+
+// Connected reports whether the similarity graph is connected (nonempty
+// and every facet reachable from the first).
+func (g *Graph) Connected() bool {
+	if len(g.Facets) == 0 {
+		return false
+	}
+	visited := make([]bool, len(g.Facets))
+	stack := []int{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range g.adj[cur] {
+			if !visited[nb] {
+				visited[nb] = true
+				count++
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return count == len(g.Facets)
+}
+
+// ValidateChain checks that consecutive entries of a chain meet the
+// degree threshold.
+func ValidateChain(chain []topology.Simplex, threshold int) error {
+	for i := 1; i < len(chain); i++ {
+		if d := Degree(chain[i-1], chain[i]); d < threshold {
+			return fmt.Errorf("similarity: chain step %d has degree %d < %d", i, d, threshold)
+		}
+	}
+	return nil
+}

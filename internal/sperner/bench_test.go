@@ -1,0 +1,40 @@
+package sperner
+
+import (
+	"testing"
+
+	"pseudosphere/internal/topology"
+)
+
+func BenchmarkSubdivideDepth2(b *testing.B) {
+	base := topology.MustSimplex(
+		topology.Vertex{P: 0, Label: "a"},
+		topology.Vertex{P: 1, Label: "b"},
+		topology.Vertex{P: 2, Label: "c"},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Subdivide(base, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyLemma(b *testing.B) {
+	base := topology.MustSimplex(
+		topology.Vertex{P: 0, Label: "a"},
+		topology.Vertex{P: 1, Label: "b"},
+		topology.Vertex{P: 2, Label: "c"},
+	)
+	sd, carrier, err := Subdivide(base, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := FirstOwnerColoring(sd, carrier)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VerifyLemma(base, sd, carrier, col); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package sperner implements Sperner colorings and Sperner's Lemma on
+// barycentric subdivisions, the combinatorial engine behind the paper's
+// Theorem 9 (via Lefschetz): a protocol complex that is (k-1)-connected
+// over every input pseudosphere admits no k-set agreement decision map,
+// because such a map would induce a Sperner-style coloring with no
+// panchromatic simplex, contradicting the lemma.
+package sperner
+
+import (
+	"fmt"
+
+	"pseudosphere/internal/topology"
+)
+
+// Coloring assigns a color (a vertex id of the original simplex) to each
+// vertex of a subdivision.
+type Coloring map[topology.Vertex]int
+
+// CheckSperner verifies the Sperner condition: each subdivision vertex's
+// color belongs to the vertex ids of its carrier (the simplex of the
+// original complex whose barycenter it is).
+func CheckSperner(sd *topology.Complex, carrier map[topology.Vertex]topology.Simplex, col Coloring) error {
+	for _, v := range sd.Vertices() {
+		c, ok := col[v]
+		if !ok {
+			return fmt.Errorf("sperner: vertex %v is uncolored", v)
+		}
+		car, ok := carrier[v]
+		if !ok {
+			return fmt.Errorf("sperner: vertex %v has no carrier", v)
+		}
+		if !car.HasID(c) {
+			return fmt.Errorf("sperner: color %d of %v is not a vertex of its carrier %v", c, v, car)
+		}
+	}
+	return nil
+}
+
+// CountPanchromatic counts the top-dimensional simplexes of the
+// subdivision whose vertices carry all of the given colors.
+func CountPanchromatic(sd *topology.Complex, col Coloring, colors []int) int {
+	want := make(map[int]bool, len(colors))
+	for _, c := range colors {
+		want[c] = true
+	}
+	count := 0
+	for _, s := range sd.Simplices(sd.Dim()) {
+		seen := make(map[int]bool, len(s))
+		ok := true
+		for _, v := range s {
+			c, has := col[v]
+			if !has || !want[c] {
+				ok = false
+				break
+			}
+			seen[c] = true
+		}
+		if ok && len(seen) == len(want) {
+			count++
+		}
+	}
+	return count
+}
+
+// FirstOwnerColoring is the canonical Sperner coloring: each subdivision
+// vertex takes the smallest vertex id of its carrier.
+func FirstOwnerColoring(sd *topology.Complex, carrier map[topology.Vertex]topology.Simplex) Coloring {
+	col := make(Coloring, len(carrier))
+	for _, v := range sd.Vertices() {
+		col[v] = carrier[v].IDs()[0]
+	}
+	return col
+}
+
+// VerifyLemma checks Sperner's Lemma for a subdivision of a single
+// n-simplex: any valid Sperner coloring has an odd number of panchromatic
+// n-simplexes. It returns the count and an error if the coloring is
+// invalid or the count is even.
+func VerifyLemma(base topology.Simplex, sd *topology.Complex, carrier map[topology.Vertex]topology.Simplex, col Coloring) (int, error) {
+	if err := CheckSperner(sd, carrier, col); err != nil {
+		return 0, err
+	}
+	count := CountPanchromatic(sd, col, base.IDs())
+	if count%2 == 0 {
+		return count, fmt.Errorf("sperner: %d panchromatic simplexes; Sperner's Lemma requires an odd count", count)
+	}
+	return count, nil
+}
+
+// Subdivide returns the t-fold iterated barycentric subdivision of the
+// closure of a single simplex, with the carrier map composed down to the
+// ORIGINAL simplex's faces (so colorings of deep subdivisions remain
+// Sperner colorings with respect to the original vertices).
+func Subdivide(base topology.Simplex, t int) (*topology.Complex, map[topology.Vertex]topology.Simplex, error) {
+	if t < 1 {
+		return nil, nil, fmt.Errorf("sperner: subdivision depth must be at least 1, got %d", t)
+	}
+	cur := topology.ComplexOf(base)
+	carrier := map[topology.Vertex]topology.Simplex{}
+	for _, v := range cur.Vertices() {
+		carrier[v] = topology.Simplex{v}
+	}
+	for i := 0; i < t; i++ {
+		sd, car := topology.BarycentricSubdivision(cur)
+		// Compose: the carrier of a new vertex is the union of the
+		// original-carriers of its carrier simplex's vertices.
+		next := make(map[topology.Vertex]topology.Simplex, len(car))
+		for v, simplexOfCur := range car {
+			acc := topology.Simplex{}
+			for _, w := range simplexOfCur {
+				joined, err := acc.Join(carrier[w])
+				if err != nil {
+					return nil, nil, fmt.Errorf("sperner: carrier composition: %w", err)
+				}
+				acc = joined
+			}
+			next[v] = acc
+		}
+		cur, carrier = sd, next
+	}
+	return cur, carrier, nil
+}

@@ -1,0 +1,108 @@
+package sperner
+
+import (
+	"math/rand"
+	"testing"
+
+	"pseudosphere/internal/topology"
+)
+
+func base2() topology.Simplex {
+	return topology.MustSimplex(
+		topology.Vertex{P: 0, Label: "a"},
+		topology.Vertex{P: 1, Label: "b"},
+		topology.Vertex{P: 2, Label: "c"},
+	)
+}
+
+func TestSubdivideOnce(t *testing.T) {
+	base := base2()
+	sd, carrier, err := Subdivide(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv := sd.FVector()
+	if fv[0] != 7 || fv[2] != 6 {
+		t.Fatalf("f-vector = %v, want 7 vertices and 6 triangles", fv)
+	}
+	for _, v := range sd.Vertices() {
+		if !carrier[v].IsFaceOf(base) {
+			t.Fatalf("carrier %v of %v is not a face of the base", carrier[v], v)
+		}
+	}
+}
+
+func TestFirstOwnerColoringSatisfiesLemma(t *testing.T) {
+	base := base2()
+	for depth := 1; depth <= 3; depth++ {
+		sd, carrier, err := Subdivide(base, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := FirstOwnerColoring(sd, carrier)
+		count, err := VerifyLemma(base, sd, carrier, col)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if count%2 == 0 {
+			t.Fatalf("depth %d: even panchromatic count %d", depth, count)
+		}
+	}
+}
+
+func TestRandomSpernerColorings(t *testing.T) {
+	base := base2()
+	sd, carrier, err := Subdivide(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		col := make(Coloring)
+		for _, v := range sd.Vertices() {
+			ids := carrier[v].IDs()
+			col[v] = ids[rng.Intn(len(ids))]
+		}
+		if _, err := VerifyLemma(base, sd, carrier, col); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSpernerTetrahedron(t *testing.T) {
+	base := topology.MustSimplex(
+		topology.Vertex{P: 0, Label: "a"},
+		topology.Vertex{P: 1, Label: "b"},
+		topology.Vertex{P: 2, Label: "c"},
+		topology.Vertex{P: 3, Label: "d"},
+	)
+	sd, carrier, err := Subdivide(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := FirstOwnerColoring(sd, carrier)
+	if _, err := VerifyLemma(base, sd, carrier, col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckSpernerRejectsBadColor(t *testing.T) {
+	base := base2()
+	sd, carrier, err := Subdivide(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := FirstOwnerColoring(sd, carrier)
+	// Corrupt: give some vertex whose carrier is a proper face a color
+	// outside the carrier.
+	for _, v := range sd.Vertices() {
+		if carrier[v].Dim() == 0 {
+			bad := (carrier[v].IDs()[0] + 1) % 3
+			col[v] = bad
+			break
+		}
+	}
+	if err := CheckSperner(sd, carrier, col); err == nil {
+		t.Fatal("expected invalid coloring to be rejected")
+	}
+}

@@ -1,0 +1,93 @@
+// Package synchronizer implements an Awerbuch-style synchronizer: it runs
+// an unmodified synchronous round protocol on an asynchronous-style
+// network by buffering messages per round and releasing a round to the
+// inner protocol only once every process's message for that round has
+// arrived. The paper's related-work section contrasts this translation
+// approach [Awe85] with its own unification; implementing it makes the
+// contrast concrete: the synchronizer works only in the failure-free case,
+// whereas the pseudosphere analysis covers crashes.
+package synchronizer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pseudosphere/internal/sim"
+)
+
+// Alpha wraps a synchronous round protocol as a timed protocol for the
+// asynchronous/semi-synchronous runtime. It assumes no failures: with a
+// crash, a round would never fill and the synchronizer would stall (which
+// a test demonstrates).
+type Alpha struct {
+	inner   sim.RoundProtocol
+	self, n int
+
+	round    int // round currently being assembled (1-based)
+	sent     bool
+	pending  map[int]map[int]string // round -> sender -> payload
+	decided  bool
+	decision string
+}
+
+// NewAlpha returns a timed-protocol factory that synchronizes instances
+// produced by the given synchronous factory.
+func NewAlpha(factory sim.ProtocolFactory) sim.TimedFactory {
+	return func() sim.TimedProtocol {
+		return &Alpha{inner: factory(), pending: make(map[int]map[int]string)}
+	}
+}
+
+// Init implements sim.TimedProtocol.
+func (a *Alpha) Init(self, n int, input string, timing sim.Timing) {
+	a.self, a.n = self, n
+	a.round = 1
+	a.inner.Init(self, n, input)
+}
+
+// Deliver implements sim.TimedProtocol: payloads are tagged "round|body".
+func (a *Alpha) Deliver(now, from int, payload string) {
+	sep := strings.IndexByte(payload, '|')
+	if sep < 0 {
+		return // not a synchronizer message; ignore
+	}
+	r, err := strconv.Atoi(payload[:sep])
+	if err != nil {
+		return
+	}
+	byFrom, ok := a.pending[r]
+	if !ok {
+		byFrom = make(map[int]string, a.n)
+		a.pending[r] = byFrom
+	}
+	byFrom[from] = payload[sep+1:]
+}
+
+// Step implements sim.TimedProtocol: broadcast the current round's message
+// once, then wait for the round to fill before running the inner round.
+func (a *Alpha) Step(now int) (string, bool, string) {
+	if a.decided {
+		return "", true, a.decision
+	}
+	if !a.sent {
+		a.sent = true
+		return fmt.Sprintf("%d|%s", a.round, a.inner.Message(a.round)), false, ""
+	}
+	byFrom := a.pending[a.round]
+	if len(byFrom) < a.n {
+		return "", false, "" // round not complete yet; keep waiting
+	}
+	for from := 0; from < a.n; from++ {
+		a.inner.Deliver(a.round, from, byFrom[from])
+	}
+	delete(a.pending, a.round)
+	decided, decision := a.inner.EndRound(a.round)
+	if decided {
+		a.decided, a.decision = true, decision
+		return "", true, decision
+	}
+	a.round++
+	a.sent = false
+	return "", false, ""
+}

@@ -1,0 +1,89 @@
+package synchronizer
+
+import (
+	"testing"
+
+	"pseudosphere/internal/protocols"
+	"pseudosphere/internal/sim"
+)
+
+// TestAlphaRunsFloodSet runs the unmodified FloodSet consensus protocol on
+// the timed runtime through the synchronizer (failure-free) and checks it
+// reaches the same decision as the native synchronous run.
+func TestAlphaRunsFloodSet(t *testing.T) {
+	inputs := []string{"c", "a", "b"}
+
+	native, err := sim.RunSync(inputs, protocols.NewFloodSet(1), nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	timing := sim.Timing{C1: 1, C2: 2, D: 3}
+	run, err := sim.RunTimed(inputs, NewAlpha(protocols.NewFloodSet(1)), timing,
+		sim.LockstepSchedule{Timing: timing}, nil, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Outcome.CheckConsensus(); err != nil {
+		t.Fatal(err)
+	}
+	for p := range inputs {
+		if run.Outcome.Decisions[p] != native.Decisions[p] {
+			t.Fatalf("process %d: synchronized decision %q differs from native %q",
+				p, run.Outcome.Decisions[p], native.Decisions[p])
+		}
+	}
+}
+
+// TestAlphaVariedSpeeds checks the synchronizer tolerates heterogeneous
+// step speeds: processes running at different legal rates still simulate
+// the same synchronous execution.
+func TestAlphaVariedSpeeds(t *testing.T) {
+	inputs := []string{"2", "0", "1"}
+	timing := sim.Timing{C1: 1, C2: 4, D: 2}
+	sched := variedSchedule{timing: timing}
+	run, err := sim.RunTimed(inputs, NewAlpha(protocols.NewFloodSet(1)), timing, sched, nil, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Outcome.CheckConsensus(); err != nil {
+		t.Fatal(err)
+	}
+	for p := range inputs {
+		if run.Outcome.Decisions[p] != "0" {
+			t.Fatalf("process %d decided %q, want 0", p, run.Outcome.Decisions[p])
+		}
+	}
+}
+
+// variedSchedule gives each process a different legal step interval and
+// staggers delivery delays.
+type variedSchedule struct {
+	timing sim.Timing
+}
+
+func (s variedSchedule) StepInterval(p, k int) int {
+	iv := s.timing.C1 + (p+k)%(s.timing.C2-s.timing.C1+1)
+	return iv
+}
+
+func (s variedSchedule) Delay(from, to, sendTime int) int {
+	return 1 + (from+to+sendTime)%s.timing.D
+}
+
+// TestAlphaStallsOnCrash demonstrates the known limitation the paper's
+// related-work section points out: with a crash, the synchronizer's round
+// never fills, so no survivor decides within the horizon.
+func TestAlphaStallsOnCrash(t *testing.T) {
+	inputs := []string{"c", "a", "b"}
+	timing := sim.Timing{C1: 1, C2: 2, D: 3}
+	crashes := sim.TimedCrashSchedule{0: {Time: 0}}
+	run, err := sim.RunTimed(inputs, NewAlpha(protocols.NewFloodSet(1)), timing,
+		sim.LockstepSchedule{Timing: timing}, crashes, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.DecidedAt) != 0 {
+		t.Fatalf("synchronizer should stall under a crash; decisions: %v", run.Outcome.Decisions)
+	}
+}

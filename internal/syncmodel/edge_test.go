@@ -1,0 +1,86 @@
+package syncmodel
+
+import "testing"
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{PerRound: -1, Total: 0}).Validate(); err == nil {
+		t.Fatal("negative per-round bound accepted")
+	}
+	if err := (Params{PerRound: 0, Total: -1}).Validate(); err == nil {
+		t.Fatal("negative total bound accepted")
+	}
+	if err := (Params{PerRound: 1, Total: 2}).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestOneRoundExactlyRejectsNonParticipant(t *testing.T) {
+	input := inputSimplex("a", "b", "c")
+	if _, err := OneRoundExactly(input, []int{7}); err == nil {
+		t.Fatal("non-participant failure accepted")
+	}
+}
+
+func TestOneRoundFullyHeardRejectsNonFailing(t *testing.T) {
+	input := inputSimplex("a", "b", "c")
+	if _, err := OneRoundFullyHeard(input, []int{0}, 1); err == nil {
+		t.Fatal("forced process that is not failing accepted")
+	}
+}
+
+func TestAllFailingYieldsEmpty(t *testing.T) {
+	input := inputSimplex("a", "b")
+	res, err := OneRoundExactly(input, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complex.IsEmpty() {
+		t.Fatalf("no survivors should mean no vertices; got %v", res.Complex)
+	}
+}
+
+func TestRoundsZeroAndNegative(t *testing.T) {
+	input := inputSimplex("a", "b", "c")
+	res, err := Rounds(input, Params{PerRound: 1, Total: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Complex.Facets()) != 1 || res.Complex.Facets()[0].Dim() != 2 {
+		t.Fatalf("S^0 should be the input closure; got %v", res.Complex)
+	}
+	if _, err := Rounds(input, Params{PerRound: 1, Total: 1}, -2); err == nil {
+		t.Fatal("negative round count accepted")
+	}
+}
+
+// TestZeroFailureBudgetIsDegenerate checks that with k=0 the one-round
+// complex is a single simplex (the failure-free pseudosphere over
+// singleton sets, per Lemma 4's first identity).
+func TestZeroFailureBudgetIsDegenerate(t *testing.T) {
+	input := inputSimplex("a", "b", "c")
+	res, err := OneRound(input, Params{PerRound: 0, Total: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	facets := res.Complex.Facets()
+	if len(facets) != 1 || facets[0].Dim() != 2 {
+		t.Fatalf("k=0 complex should be one triangle; got %v", facets)
+	}
+}
+
+// TestTotalBelowPerRound checks the effective bound is the minimum of the
+// two budgets.
+func TestTotalBelowPerRound(t *testing.T) {
+	input := inputSimplex("a", "b", "c")
+	limited, err := OneRound(input, Params{PerRound: 2, Total: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactlyOne, err := OneRound(input, Params{PerRound: 1, Total: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !limited.Complex.Equal(exactlyOne.Complex) {
+		t.Fatal("Total=1 must cap PerRound=2 to one failure")
+	}
+}

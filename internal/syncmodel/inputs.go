@@ -1,0 +1,20 @@
+package syncmodel
+
+import (
+	"pseudosphere/internal/core"
+	"pseudosphere/internal/pc"
+)
+
+// RoundsOverInputs returns S^r applied to the whole input complex
+// psi(P^n; values): the union of S^r(S) over every input simplex S.
+func RoundsOverInputs(n int, values []string, p Params, r int) (*pc.Result, error) {
+	res := pc.NewResult()
+	for _, s := range core.InputFacets(n, values) {
+		sub, err := Rounds(s, p, r)
+		if err != nil {
+			return nil, err
+		}
+		res.Merge(sub)
+	}
+	return res, nil
+}

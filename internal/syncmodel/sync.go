@@ -1,0 +1,314 @@
+// Package syncmodel implements Section 7 of the paper: the synchronous
+// protocol complex. Computation proceeds in lockstep rounds; in each round
+// at most k processes crash. A process that crashes in a round may have
+// delivered its round message to an arbitrary subset of the survivors, so
+// the complex of one-round executions in which exactly the set K fails is
+// the pseudosphere psi(S\K; 2^K) (Lemma 14): each survivor is
+// independently labeled with the subset of K it heard from. The one-round
+// complex S^1 is the union of these pseudospheres over all K with |K| <= k;
+// their pairwise-prefix intersections are again unions of pseudospheres
+// (Lemma 15), giving (m-(n-k)-1)-connectivity when n >= 2k (Lemma 16) and,
+// iterated, when n >= rk+k (Lemma 17). Connectivity yields the tight round
+// lower bound for synchronous k-set agreement (Theorem 18).
+package syncmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"pseudosphere/internal/core"
+	"pseudosphere/internal/pc"
+	"pseudosphere/internal/topology"
+	"pseudosphere/internal/views"
+)
+
+// Params fixes the failure structure: at most PerRound crashes in any
+// single round (the paper's k) and at most Total crashes over the whole
+// execution (the paper's f).
+type Params struct {
+	PerRound int // k: maximum crashes per round
+	Total    int // f: maximum crashes overall
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.PerRound < 0 {
+		return fmt.Errorf("syncmodel: per-round failure bound must be nonnegative, got %d", p.PerRound)
+	}
+	if p.Total < 0 {
+		return fmt.Errorf("syncmodel: total failure bound must be nonnegative, got %d", p.Total)
+	}
+	return nil
+}
+
+// OneRoundExactly returns S^1_K(S): the complex of one-round executions
+// starting from S in which exactly the processes in fail crash. Every
+// survivor hears from every survivor (itself included) and independently
+// from an arbitrary subset of fail. Failing processes contribute no
+// vertices.
+func OneRoundExactly(input topology.Simplex, fail []int) (*pc.Result, error) {
+	res := pc.NewResult()
+	if _, err := appendOneRoundExactly(res, pc.InputViews(input), fail, -1); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// OneRoundFullyHeard is OneRoundExactly restricted to executions in which
+// every survivor hears from the failing process heardByAll. Under the
+// Lemma 14 labeling (a survivor is labeled with the subset K - ids(M) of
+// failing processes it did NOT hear), these executions form the
+// pseudosphere psi(S\K; 2^{K-{P}}) appearing on the right-hand side of
+// Lemma 15.
+func OneRoundFullyHeard(input topology.Simplex, fail []int, heardByAll int) (*pc.Result, error) {
+	res := pc.NewResult()
+	if _, err := appendOneRoundExactly(res, pc.InputViews(input), fail, heardByAll); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// appendOneRoundExactly enumerates the one-round executions from cur in
+// which exactly fail crashes; forced >= 0 additionally requires that every
+// survivor hears from the failing process forced. Returns the facets as
+// survivor view lists.
+func appendOneRoundExactly(res *pc.Result, cur []*views.View, fail []int, forced int) ([][]*views.View, error) {
+	failSet := make(map[int]bool, len(fail))
+	byID := make(map[int]*views.View, len(cur))
+	for _, v := range cur {
+		byID[v.P] = v
+	}
+	for _, q := range fail {
+		if _, ok := byID[q]; !ok {
+			return nil, fmt.Errorf("syncmodel: failing process %d is not a participant", q)
+		}
+		failSet[q] = true
+	}
+	if forced >= 0 && !failSet[forced] {
+		return nil, fmt.Errorf("syncmodel: forced process %d is not failing", forced)
+	}
+	var survivors []*views.View
+	for _, v := range cur {
+		if !failSet[v.P] {
+			survivors = append(survivors, v)
+		}
+	}
+	if len(survivors) == 0 {
+		return nil, nil
+	}
+	optional := make([]int, 0, len(fail))
+	for _, q := range fail {
+		if q != forced {
+			optional = append(optional, q)
+		}
+	}
+	sort.Ints(optional)
+
+	subsets := intSubsets(optional)
+	idx := make([]int, len(survivors))
+	var facets [][]*views.View
+	for {
+		facet := make([]*views.View, len(survivors))
+		for i, sv := range survivors {
+			heard := make(map[int]*views.View, len(survivors)+len(fail))
+			for _, w := range survivors {
+				heard[w.P] = w
+			}
+			if forced >= 0 {
+				heard[forced] = byID[forced]
+			}
+			for _, q := range subsets[idx[i]] {
+				heard[q] = byID[q]
+			}
+			facet[i] = views.Next(sv.P, heard)
+		}
+		res.AddFacet(facet)
+		facets = append(facets, facet)
+		j := len(idx) - 1
+		for j >= 0 {
+			idx[j]++
+			if idx[j] < len(subsets) {
+				break
+			}
+			idx[j] = 0
+			j--
+		}
+		if j < 0 {
+			break
+		}
+	}
+	return facets, nil
+}
+
+// FailureSets enumerates the subsets of ids of size at most maxSize in the
+// paper's order: by cardinality, then lexicographically.
+func FailureSets(ids []int, maxSize int) [][]int {
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	var out [][]int
+	n := len(sorted)
+	if maxSize > n {
+		maxSize = n
+	}
+	for size := 0; size <= maxSize; size++ {
+		var acc []int
+		var rec func(start int)
+		rec = func(start int) {
+			if len(acc) == size {
+				out = append(out, append([]int(nil), acc...))
+				return
+			}
+			for i := start; i < n; i++ {
+				acc = append(acc, sorted[i])
+				rec(i + 1)
+				acc = acc[:len(acc)-1]
+			}
+		}
+		rec(0)
+	}
+	return out
+}
+
+// OneRound returns S^1(S): the union of S^1_K(S) over all failure sets K
+// of size at most min(PerRound, Total).
+func OneRound(input topology.Simplex, p Params) (*pc.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := pc.NewResult()
+	maxFail := minInt(p.PerRound, p.Total)
+	for _, fail := range FailureSets(input.IDs(), maxFail) {
+		if _, err := appendOneRoundExactly(res, pc.InputViews(input), fail, -1); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Rounds returns S^r(S): r synchronous rounds with at most PerRound
+// failures per round and Total failures overall. The decomposition follows
+// the paper: the executions whose first-round failure set is K continue as
+// an (r-1)-round, (Total-|K|)-faulty protocol among the survivors.
+func Rounds(input topology.Simplex, p Params, r int) (*pc.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("syncmodel: negative round count %d", r)
+	}
+	res := pc.NewResult()
+	roundsRec(res, pc.InputViews(input), p, r)
+	return res, nil
+}
+
+func roundsRec(res *pc.Result, cur []*views.View, p Params, r int) {
+	if r == 0 {
+		res.AddFacet(cur)
+		return
+	}
+	ids := make([]int, len(cur))
+	for i, v := range cur {
+		ids[i] = v.P
+	}
+	maxFail := minInt(p.PerRound, p.Total)
+	for _, fail := range FailureSets(ids, maxFail) {
+		scratch := pc.NewResult()
+		if r == 1 {
+			scratch = res
+		}
+		facets, err := appendOneRoundExactly(scratch, cur, fail, -1)
+		if err != nil {
+			// Unreachable: fail is drawn from the participant ids.
+			panic(err)
+		}
+		next := Params{PerRound: p.PerRound, Total: p.Total - len(fail)}
+		for _, facet := range facets {
+			roundsRec(res, facet, next, r-1)
+		}
+	}
+}
+
+// Lemma14Pseudosphere builds the abstract pseudosphere psi(S\K; 2^K) of
+// Lemma 14, with vertex labels encoding subsets of K.
+func Lemma14Pseudosphere(input topology.Simplex, fail []int) (*topology.Complex, error) {
+	failSet := make(map[int]bool, len(fail))
+	for _, q := range fail {
+		failSet[q] = true
+	}
+	base := input.WithoutIDs(failSet)
+	sets := make([][]string, len(base))
+	subsets := core.SubsetsAtLeast(fail, 0)
+	for i := range sets {
+		sets[i] = subsets
+	}
+	return core.Pseudosphere(base, sets)
+}
+
+// Lemma14Map returns the explicit vertex isomorphism L of Lemma 14 from
+// the enumerated S^1_K(S) onto psi(S\K; 2^K): L(P_i, M) = (s_i, K-ids(M)).
+func Lemma14Map(oneRound *pc.Result, input topology.Simplex, fail []int) (topology.VertexMap, error) {
+	failSet := make(map[int]bool, len(fail))
+	for _, q := range fail {
+		failSet[q] = true
+	}
+	m := make(topology.VertexMap, len(oneRound.Views))
+	for vert, view := range oneRound.Views {
+		heard := make(map[int]bool)
+		for _, q := range view.HeardIDs() {
+			heard[q] = true
+		}
+		var missing []int
+		for _, q := range fail {
+			if !heard[q] {
+				missing = append(missing, q)
+			}
+		}
+		label, ok := input.LabelOf(vert.P)
+		if !ok {
+			return nil, fmt.Errorf("syncmodel: vertex %v has no input vertex", vert)
+		}
+		base := topology.Vertex{P: vert.P, Label: label}
+		m[vert] = core.VertexFor(base, core.EncodeIDSet(missing))
+	}
+	return m, nil
+}
+
+// Lemma15RHS builds the right-hand side of Lemma 15 for the failure set
+// K_t = fail: the union over P in K_t of the executions of S^1_{K_t} in
+// which every survivor hears P (the pseudospheres psi(S\K_t; 2^{K_t-{P}})
+// under the Lemma 14 labeling). Comparing it with the concrete
+// intersection of the prefix union and S^1_{K_t} verifies the lemma.
+func Lemma15RHS(input topology.Simplex, fail []int) (*pc.Result, error) {
+	res := pc.NewResult()
+	for _, p := range fail {
+		sub, err := OneRoundFullyHeard(input, fail, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Merge(sub)
+	}
+	return res, nil
+}
+
+// intSubsets enumerates all subsets of the sorted slice xs.
+func intSubsets(xs []int) [][]int {
+	n := len(xs)
+	out := make([][]int, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var sub []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, xs[i])
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,20 @@
+package task
+
+import (
+	"pseudosphere/internal/topology"
+	"pseudosphere/internal/views"
+)
+
+// AnnotateViews builds an Annotated complex from a protocol complex whose
+// vertices carry full-information views: the allowed decision values at a
+// vertex are exactly the input values visible in its view (see the
+// Annotated documentation for why this is the validity constraint).
+func AnnotateViews(c *topology.Complex, vm map[topology.Vertex]*views.View) *Annotated {
+	allowed := make(map[topology.Vertex][]string, len(vm))
+	for vert, view := range vm {
+		if c.HasVertex(vert) {
+			allowed[vert] = view.ValuesSeen()
+		}
+	}
+	return &Annotated{Complex: c, Allowed: allowed}
+}

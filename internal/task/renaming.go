@@ -1,0 +1,149 @@
+package task
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Renaming is the second task the paper's introduction cites as motivating
+// higher degrees of similarity [ABND+90]: each participating process must
+// choose a name from a namespace 1..M such that names chosen in any single
+// execution are pairwise distinct. On a protocol complex this means a
+// decision map whose values on every simplex are pairwise distinct.
+//
+// FindRenaming searches for such a map exactly (backtracking with
+// all-different propagation on facets). It returns (map, true, nil) when
+// one exists, (nil, false, nil) when provably none exists, and
+// ErrSearchLimit when the node budget is exhausted.
+func FindRenaming(c *Annotated, namespace int, nodeLimit int64) (DecisionMap, bool, error) {
+	if namespace < 1 {
+		return nil, false, fmt.Errorf("task: namespace must be positive, got %d", namespace)
+	}
+	verts := c.Complex.Vertices()
+	if len(verts) == 0 {
+		return DecisionMap{}, true, nil
+	}
+	vIdx := make(map[string]int, len(verts))
+	for i, v := range verts {
+		vIdx[v.String()] = i
+	}
+	facets := c.Complex.Facets()
+	facetOf := make([][]int, len(verts))
+	facetVerts := make([][]int, len(facets))
+	for fi, f := range facets {
+		fv := make([]int, len(f))
+		for j, v := range f {
+			fv[j] = vIdx[v.String()]
+			facetOf[vIdx[v.String()]] = append(facetOf[vIdx[v.String()]], fi)
+		}
+		facetVerts[fi] = fv
+	}
+	// Domains: all names 1..M (validity for renaming is just range
+	// membership; the Annotated's Allowed sets are not used, since names
+	// are not input values).
+	domain := make([]int, namespace)
+	for i := range domain {
+		domain[i] = i + 1
+	}
+	assign := make([]int, len(verts))
+	assigned := make([]bool, len(verts))
+	order := searchOrder(facetVerts, len(verts))
+	var nodes int64
+
+	conflict := func(vi, name int) bool {
+		for _, fi := range facetOf[vi] {
+			for _, wj := range facetVerts[fi] {
+				if wj != vi && assigned[wj] && assign[wj] == name {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	var rec func(pos int) (bool, error)
+	rec = func(pos int) (bool, error) {
+		if pos == len(order) {
+			return true, nil
+		}
+		vi := order[pos]
+		for _, name := range domain {
+			nodes++
+			if nodeLimit > 0 && nodes > nodeLimit {
+				return false, ErrSearchLimit
+			}
+			if conflict(vi, name) {
+				continue
+			}
+			assign[vi] = name
+			assigned[vi] = true
+			ok, err := rec(pos + 1)
+			if ok || err != nil {
+				return ok, err
+			}
+			assigned[vi] = false
+		}
+		return false, nil
+	}
+	ok, err := rec(0)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	dm := make(DecisionMap, len(verts))
+	for i, v := range verts {
+		dm[v] = fmt.Sprintf("%d", assign[i])
+	}
+	return dm, true, nil
+}
+
+// CheckRenaming verifies a renaming decision map: every vertex has a name
+// in 1..namespace and every simplex's names are pairwise distinct.
+func CheckRenaming(c *Annotated, dm DecisionMap, namespace int) error {
+	for _, v := range c.Complex.Vertices() {
+		name, ok := dm[v]
+		if !ok {
+			return fmt.Errorf("task: vertex %v has no name", v)
+		}
+		var n int
+		if _, err := fmt.Sscanf(name, "%d", &n); err != nil || n < 1 || n > namespace {
+			return fmt.Errorf("task: name %q at %v outside 1..%d", name, v, namespace)
+		}
+	}
+	for _, f := range c.Complex.Facets() {
+		seen := make(map[string]bool, len(f))
+		for _, v := range f {
+			if seen[dm[v]] {
+				return fmt.Errorf("task: simplex %v repeats name %q", f, dm[v])
+			}
+			seen[dm[v]] = true
+		}
+	}
+	return nil
+}
+
+// MinimalNamespace returns the least namespace size for which a renaming
+// map exists on the complex, probing upward from the number of processes;
+// it gives up (returning 0 and ErrSearchLimit) if a probe exhausts the
+// node budget.
+func MinimalNamespace(c *Annotated, maxNamespace int, nodeLimit int64) (int, error) {
+	ids := make(map[int]bool)
+	for _, v := range c.Complex.Vertices() {
+		ids[v.P] = true
+	}
+	lower := len(ids)
+	sizes := make([]int, 0, maxNamespace-lower+1)
+	for m := lower; m <= maxNamespace; m++ {
+		sizes = append(sizes, m)
+	}
+	sort.Ints(sizes)
+	for _, m := range sizes {
+		_, found, err := FindRenaming(c, m, nodeLimit)
+		if err != nil {
+			return 0, err
+		}
+		if found {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("task: no renaming map up to namespace %d", maxNamespace)
+}

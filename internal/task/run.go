@@ -1,0 +1,44 @@
+package task
+
+import "fmt"
+
+// RunOutcome is the observable result of executing an agreement protocol on
+// the message-passing runtime: the inputs, the decisions of the processes
+// that decided, and which processes crashed.
+type RunOutcome struct {
+	Inputs    map[int]string // process id -> input value
+	Decisions map[int]string // process id -> decision (absent if none)
+	Crashed   map[int]bool   // process id -> crashed during the run
+}
+
+// CheckKSetAgreement verifies the three conditions of the k-set agreement
+// task (Section 4) on a concrete run: termination (every non-crashed
+// process decided), validity (every decision is some process's input), and
+// agreement (at most k distinct decisions collectively).
+func (o *RunOutcome) CheckKSetAgreement(k int) error {
+	inputSet := make(map[string]bool, len(o.Inputs))
+	for _, v := range o.Inputs {
+		inputSet[v] = true
+	}
+	distinct := make(map[string]bool)
+	for p := range o.Inputs {
+		d, decided := o.Decisions[p]
+		if !decided {
+			if !o.Crashed[p] {
+				return fmt.Errorf("task: process %d neither crashed nor decided", p)
+			}
+			continue
+		}
+		if !inputSet[d] {
+			return fmt.Errorf("task: process %d decided %q, which is no process's input", p, d)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) > k {
+		return fmt.Errorf("task: %d distinct decisions, want at most %d", len(distinct), k)
+	}
+	return nil
+}
+
+// CheckConsensus is CheckKSetAgreement with k = 1.
+func (o *RunOutcome) CheckConsensus() error { return o.CheckKSetAgreement(1) }

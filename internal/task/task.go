@@ -1,0 +1,295 @@
+// Package task defines the decision tasks the paper proves bounds for —
+// k-set agreement and its k=1 special case, consensus — together with the
+// machinery for reasoning about their solvability on protocol complexes:
+// annotated complexes (each vertex knows which decision values are valid
+// for it), decision maps, an exact solvability search, and the
+// Theorem 9 / Corollary 10 connectivity obstructions.
+package task
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pseudosphere/internal/topology"
+)
+
+// Annotated pairs a protocol complex with, for every vertex, the set of
+// decision values that validity permits at that vertex. For
+// full-information protocols this is exactly the set of input values
+// visible in the vertex's view: a vertex lies in P(S) for precisely the
+// input simplexes S consistent with its view, and the intersection of
+// vals(S) over those S is the set of values seen.
+type Annotated struct {
+	Complex *topology.Complex
+	Allowed map[topology.Vertex][]string
+}
+
+// Validate checks internal consistency: every vertex of the complex has a
+// nonempty allowed set.
+func (a *Annotated) Validate() error {
+	for _, v := range a.Complex.Vertices() {
+		vals, ok := a.Allowed[v]
+		if !ok || len(vals) == 0 {
+			return fmt.Errorf("task: vertex %v has no allowed decision values", v)
+		}
+	}
+	return nil
+}
+
+// DecisionMap assigns a decision value to every vertex of a protocol
+// complex; it is the paper's map delta from Section 4.
+type DecisionMap map[topology.Vertex]string
+
+// CheckDecision verifies that dm solves k-set agreement on a: every vertex
+// is assigned an allowed value (validity) and the vertices of every simplex
+// carry at most k distinct values (agreement). Checking facets suffices
+// since faces carry subsets of a facet's values.
+func CheckDecision(a *Annotated, dm DecisionMap, k int) error {
+	for _, v := range a.Complex.Vertices() {
+		val, ok := dm[v]
+		if !ok {
+			return fmt.Errorf("task: vertex %v has no decision", v)
+		}
+		if !contains(a.Allowed[v], val) {
+			return fmt.Errorf("task: decision %q at %v violates validity (allowed %v)", val, v, a.Allowed[v])
+		}
+	}
+	for _, s := range a.Complex.Facets() {
+		if distinctDecisions(s, dm) > k {
+			return fmt.Errorf("task: simplex %v carries more than %d decision values", s, k)
+		}
+	}
+	return nil
+}
+
+func distinctDecisions(s topology.Simplex, dm DecisionMap) int {
+	seen := make(map[string]bool, len(s))
+	for _, v := range s {
+		seen[dm[v]] = true
+	}
+	return len(seen)
+}
+
+// ErrSearchLimit reports that the backtracking search exceeded its node
+// budget without resolving existence.
+var ErrSearchLimit = errors.New("task: decision-map search exceeded its node limit")
+
+// FindDecision searches for a k-set agreement decision map on a. It
+// returns (map, true, nil) if one exists, (nil, false, nil) if provably
+// none exists, and (nil, false, ErrSearchLimit) if the backtracking search
+// hit nodeLimit without resolving. A nodeLimit <= 0 means unlimited.
+//
+// For k = 1 (consensus) an exact polynomial-time procedure is used: every
+// simplex must be monochromatic, so the decision value is constant on each
+// connected component of the 1-skeleton and a map exists iff every
+// component's allowed sets have a common value.
+func FindDecision(a *Annotated, k int, nodeLimit int64) (DecisionMap, bool, error) {
+	if err := a.Validate(); err != nil {
+		return nil, false, err
+	}
+	if a.Complex.IsEmpty() {
+		return DecisionMap{}, true, nil
+	}
+	if k <= 0 {
+		return nil, false, fmt.Errorf("task: k must be positive, got %d", k)
+	}
+	if k == 1 {
+		dm, ok := findConsensus(a)
+		return dm, ok, nil
+	}
+	return findBacktracking(a, k, nodeLimit)
+}
+
+// findConsensus implements the exact k=1 procedure.
+func findConsensus(a *Annotated) (DecisionMap, bool) {
+	verts := a.Complex.Vertices()
+	idx := make(map[topology.Vertex]int, len(verts))
+	for i, v := range verts {
+		idx[v] = i
+	}
+	parent := make([]int, len(verts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range a.Complex.Simplices(1) {
+		pa, pb := find(idx[e[0]]), find(idx[e[1]])
+		parent[pa] = pb
+	}
+	// Intersect allowed sets per component.
+	common := make(map[int]map[string]bool)
+	for i, v := range verts {
+		root := find(i)
+		set, ok := common[root]
+		if !ok {
+			set = make(map[string]bool)
+			for _, val := range a.Allowed[v] {
+				set[val] = true
+			}
+			common[root] = set
+			continue
+		}
+		next := make(map[string]bool)
+		for _, val := range a.Allowed[v] {
+			if set[val] {
+				next[val] = true
+			}
+		}
+		common[root] = next
+	}
+	dm := make(DecisionMap, len(verts))
+	for i, v := range verts {
+		set := common[find(i)]
+		if len(set) == 0 {
+			return nil, false
+		}
+		vals := make([]string, 0, len(set))
+		for val := range set {
+			vals = append(vals, val)
+		}
+		sort.Strings(vals)
+		dm[v] = vals[0]
+	}
+	return dm, true
+}
+
+// findBacktracking is an exact backtracking search with forward checking:
+// when a facet reaches k distinct assigned values, the domains of its
+// unassigned vertices shrink to those values.
+func findBacktracking(a *Annotated, k int, nodeLimit int64) (DecisionMap, bool, error) {
+	verts := a.Complex.Vertices()
+	vIdx := make(map[topology.Vertex]int, len(verts))
+	for i, v := range verts {
+		vIdx[v] = i
+	}
+	facets := a.Complex.Facets()
+	facetOf := make([][]int, len(verts)) // vertex -> facet indices
+	facetVerts := make([][]int, len(facets))
+	for fi, f := range facets {
+		fv := make([]int, len(f))
+		for j, v := range f {
+			fv[j] = vIdx[v]
+			facetOf[vIdx[v]] = append(facetOf[vIdx[v]], fi)
+		}
+		facetVerts[fi] = fv
+	}
+	domains := make([][]string, len(verts))
+	for i, v := range verts {
+		domains[i] = append([]string(nil), a.Allowed[v]...)
+		sort.Strings(domains[i])
+	}
+	order := searchOrder(facetVerts, len(verts))
+	assign := make([]string, len(verts))
+	assigned := make([]bool, len(verts))
+	var nodes int64
+
+	var rec func(pos int) (bool, error)
+	rec = func(pos int) (bool, error) {
+		if pos == len(order) {
+			return true, nil
+		}
+		vi := order[pos]
+		for _, val := range domains[vi] {
+			nodes++
+			if nodeLimit > 0 && nodes > nodeLimit {
+				return false, ErrSearchLimit
+			}
+			assign[vi] = val
+			assigned[vi] = true
+			if consistent(vi, facetOf, facetVerts, assign, assigned, domains, k) {
+				ok, err := rec(pos + 1)
+				if ok || err != nil {
+					return ok, err
+				}
+			}
+			assigned[vi] = false
+		}
+		return false, nil
+	}
+	ok, err := rec(0)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	dm := make(DecisionMap, len(verts))
+	for i, v := range verts {
+		dm[v] = assign[i]
+	}
+	return dm, true, nil
+}
+
+// consistent checks that every facet touching vertex vi can still be
+// completed: assigned values do not exceed k distinct, and if exactly k are
+// assigned, every unassigned vertex in the facet has one of them in its
+// domain.
+func consistent(vi int, facetOf [][]int, facetVerts [][]int, assign []string, assigned []bool, domains [][]string, k int) bool {
+	for _, fi := range facetOf[vi] {
+		seen := make(map[string]bool, k+1)
+		for _, wj := range facetVerts[fi] {
+			if assigned[wj] {
+				seen[assign[wj]] = true
+			}
+		}
+		if len(seen) > k {
+			return false
+		}
+		if len(seen) == k {
+			for _, wj := range facetVerts[fi] {
+				if assigned[wj] {
+					continue
+				}
+				ok := false
+				for _, val := range domains[wj] {
+					if seen[val] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// searchOrder orders vertices facet-by-facet so that agreement constraints
+// bind as early as possible.
+func searchOrder(facetVerts [][]int, n int) []int {
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for _, fv := range facetVerts {
+		for _, vi := range fv {
+			if !seen[vi] {
+				seen[vi] = true
+				order = append(order, vi)
+			}
+		}
+	}
+	for vi := 0; vi < n; vi++ {
+		if !seen[vi] {
+			order = append(order, vi)
+		}
+	}
+	return order
+}
+
+func contains(xs []string, x string) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}

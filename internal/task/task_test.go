@@ -1,0 +1,173 @@
+package task
+
+import (
+	"errors"
+	"testing"
+
+	"pseudosphere/internal/topology"
+)
+
+func v(p int, label string) topology.Vertex { return topology.Vertex{P: p, Label: label} }
+
+func annotated(c *topology.Complex, allowed map[topology.Vertex][]string) *Annotated {
+	return &Annotated{Complex: c, Allowed: allowed}
+}
+
+func TestFindConsensusOnMonochromeComponent(t *testing.T) {
+	// Path a--b--c where every vertex allows {0,1}: consensus exists.
+	c := topology.ComplexOf(
+		topology.MustSimplex(v(0, "a"), v(1, "b")),
+		topology.MustSimplex(v(1, "b"), v(0, "c")),
+	)
+	allowed := map[topology.Vertex][]string{
+		v(0, "a"): {"0", "1"},
+		v(1, "b"): {"0", "1"},
+		v(0, "c"): {"0", "1"},
+	}
+	dm, found, err := FindDecision(annotated(c, allowed), 1, 0)
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if err := CheckDecision(annotated(c, allowed), dm, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindConsensusImpossibleOnForcedPath(t *testing.T) {
+	// Path where one end allows only 0 and the other only 1: the
+	// component has no common value, so consensus is impossible.
+	c := topology.ComplexOf(
+		topology.MustSimplex(v(0, "a"), v(1, "b")),
+		topology.MustSimplex(v(1, "b"), v(0, "c")),
+	)
+	allowed := map[topology.Vertex][]string{
+		v(0, "a"): {"0"},
+		v(1, "b"): {"0", "1"},
+		v(0, "c"): {"1"},
+	}
+	_, found, err := FindDecision(annotated(c, allowed), 1, 0)
+	if err != nil || found {
+		t.Fatalf("found=%v err=%v; want impossible", found, err)
+	}
+}
+
+func TestFindConsensusDisconnectedComponents(t *testing.T) {
+	// Two components with different forced values: fine for consensus
+	// (each simplex is monochromatic).
+	c := topology.ComplexOf(
+		topology.MustSimplex(v(0, "a"), v(1, "b")),
+		topology.MustSimplex(v(0, "x"), v(1, "y")),
+	)
+	allowed := map[topology.Vertex][]string{
+		v(0, "a"): {"0"}, v(1, "b"): {"0"},
+		v(0, "x"): {"1"}, v(1, "y"): {"1"},
+	}
+	dm, found, err := FindDecision(annotated(c, allowed), 1, 0)
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if dm[v(0, "a")] != "0" || dm[v(0, "x")] != "1" {
+		t.Fatalf("decisions: %v", dm)
+	}
+}
+
+func TestFindDecisionK2Triangle(t *testing.T) {
+	// A triangle with three forced distinct values cannot solve 2-set
+	// agreement, but relaxing one vertex makes it solvable.
+	tri := topology.MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
+	c := topology.ComplexOf(tri)
+	forced := map[topology.Vertex][]string{
+		v(0, "a"): {"0"}, v(1, "b"): {"1"}, v(2, "c"): {"2"},
+	}
+	_, found, err := FindDecision(annotated(c, forced), 2, 0)
+	if err != nil || found {
+		t.Fatalf("found=%v err=%v; want impossible", found, err)
+	}
+	relaxed := map[topology.Vertex][]string{
+		v(0, "a"): {"0"}, v(1, "b"): {"1"}, v(2, "c"): {"2", "0"},
+	}
+	dm, found, err := FindDecision(annotated(c, relaxed), 2, 0)
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v; want solvable", found, err)
+	}
+	if err := CheckDecision(annotated(c, relaxed), dm, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindDecisionSearchLimit(t *testing.T) {
+	// A larger instance with an immediate dead end everywhere but a tiny
+	// node budget: the search must report ErrSearchLimit, not a wrong
+	// answer.
+	var simplexes []topology.Simplex
+	allowed := make(map[topology.Vertex][]string)
+	for i := 0; i < 6; i++ {
+		a := v(0, string(rune('a'+i)))
+		b := v(1, string(rune('a'+i)))
+		simplexes = append(simplexes, topology.MustSimplex(a, b))
+		allowed[a] = []string{"0", "1", "2"}
+		allowed[b] = []string{"0", "1", "2"}
+	}
+	c := topology.ComplexOf(simplexes...)
+	_, _, err := FindDecision(annotated(c, allowed), 2, 1)
+	if !errors.Is(err, ErrSearchLimit) {
+		t.Fatalf("err = %v, want ErrSearchLimit", err)
+	}
+}
+
+func TestCheckDecisionViolations(t *testing.T) {
+	tri := topology.MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
+	c := topology.ComplexOf(tri)
+	allowed := map[topology.Vertex][]string{
+		v(0, "a"): {"0"}, v(1, "b"): {"1"}, v(2, "c"): {"2"},
+	}
+	ann := annotated(c, allowed)
+	full := DecisionMap{v(0, "a"): "0", v(1, "b"): "1", v(2, "c"): "2"}
+	if err := CheckDecision(ann, full, 2); err == nil {
+		t.Fatal("3 distinct values must violate 2-set agreement")
+	}
+	if err := CheckDecision(ann, full, 3); err != nil {
+		t.Fatalf("3-set agreement should pass: %v", err)
+	}
+	invalid := DecisionMap{v(0, "a"): "9", v(1, "b"): "1", v(2, "c"): "2"}
+	if err := CheckDecision(ann, invalid, 3); err == nil {
+		t.Fatal("validity violation not caught")
+	}
+	missing := DecisionMap{v(0, "a"): "0"}
+	if err := CheckDecision(ann, missing, 3); err == nil {
+		t.Fatal("missing decision not caught")
+	}
+}
+
+func TestAnnotatedValidate(t *testing.T) {
+	c := topology.ComplexOf(topology.MustSimplex(v(0, "a")))
+	if err := annotated(c, map[topology.Vertex][]string{}).Validate(); err == nil {
+		t.Fatal("missing allowed set not caught")
+	}
+}
+
+func TestRunOutcomeChecks(t *testing.T) {
+	o := &RunOutcome{
+		Inputs:    map[int]string{0: "0", 1: "1", 2: "1"},
+		Decisions: map[int]string{0: "0", 1: "1", 2: "1"},
+		Crashed:   map[int]bool{},
+	}
+	if err := o.CheckKSetAgreement(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.CheckConsensus(); err == nil {
+		t.Fatal("two distinct decisions must violate consensus")
+	}
+	o.Decisions[2] = "7"
+	if err := o.CheckKSetAgreement(2); err == nil {
+		t.Fatal("non-input decision must violate validity")
+	}
+	o.Decisions = map[int]string{0: "0"}
+	if err := o.CheckKSetAgreement(2); err == nil {
+		t.Fatal("undecided live processes must violate termination")
+	}
+	o.Crashed = map[int]bool{1: true, 2: true}
+	if err := o.CheckKSetAgreement(2); err != nil {
+		t.Fatalf("crashed processes are exempt from termination: %v", err)
+	}
+}

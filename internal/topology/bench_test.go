@@ -1,0 +1,65 @@
+package topology
+
+import "testing"
+
+func benchComplex(labels int) *Complex {
+	c := NewComplex()
+	for a := 0; a < labels; a++ {
+		for b := 0; b < labels; b++ {
+			for d := 0; d < labels; d++ {
+				c.Add(MustSimplex(
+					Vertex{P: 0, Label: string(rune('a' + a))},
+					Vertex{P: 1, Label: string(rune('a' + b))},
+					Vertex{P: 2, Label: string(rune('a' + d))},
+				))
+			}
+		}
+	}
+	return c
+}
+
+func BenchmarkComplexAdd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchComplex(4)
+	}
+}
+
+func BenchmarkFacets(b *testing.B) {
+	c := benchComplex(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(c.Facets()); got != 64 {
+			b.Fatalf("facets = %d", got)
+		}
+	}
+}
+
+func BenchmarkIntersection(b *testing.B) {
+	c1, c2 := benchComplex(4), benchComplex(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c1.Intersection(c2)
+	}
+}
+
+func BenchmarkBarycentricSubdivision(b *testing.B) {
+	c := ComplexOf(MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"), v(3, "d")))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BarycentricSubdivision(c)
+	}
+}
+
+func BenchmarkVerifyIsomorphismIdentity(b *testing.B) {
+	c := benchComplex(3)
+	m := make(VertexMap)
+	for _, vert := range c.Vertices() {
+		m[vert] = vert
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyIsomorphism(c, c, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

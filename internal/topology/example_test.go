@@ -1,0 +1,50 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"pseudosphere/internal/topology"
+)
+
+// ExampleComplexOf shows face closure: adding a triangle adds its edges
+// and vertices.
+func ExampleComplexOf() {
+	tri := topology.MustSimplex(
+		topology.Vertex{P: 0, Label: "a"},
+		topology.Vertex{P: 1, Label: "b"},
+		topology.Vertex{P: 2, Label: "c"},
+	)
+	c := topology.ComplexOf(tri)
+	fmt.Println(c.FVector())
+	fmt.Println(c.EulerCharacteristic())
+	// Output:
+	// [3 3 1]
+	// 1
+}
+
+// ExampleSimplex_Intersect shows the shared face of two global states —
+// the paper's notion of similarity.
+func ExampleSimplex_Intersect() {
+	s := topology.MustSimplex(
+		topology.Vertex{P: 0, Label: "x"},
+		topology.Vertex{P: 1, Label: "y"},
+	)
+	t := topology.MustSimplex(
+		topology.Vertex{P: 0, Label: "x"},
+		topology.Vertex{P: 1, Label: "z"},
+	)
+	fmt.Println(s.Intersect(t))
+	// Output: (P0:x)
+}
+
+// ExampleBarycentricSubdivision subdivides a triangle.
+func ExampleBarycentricSubdivision() {
+	tri := topology.MustSimplex(
+		topology.Vertex{P: 0, Label: "a"},
+		topology.Vertex{P: 1, Label: "b"},
+		topology.Vertex{P: 2, Label: "c"},
+	)
+	sd, _ := topology.BarycentricSubdivision(topology.ComplexOf(tri))
+	fmt.Println(sd.FVector())
+	// Output: [7 12 6]
+}

@@ -1,0 +1,54 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToDOT(t *testing.T) {
+	c := ComplexOf(triangle())
+	dot := c.ToDOT("tri")
+	if !strings.HasPrefix(dot, "graph \"tri\"") {
+		t.Fatalf("dot header:\n%s", dot)
+	}
+	if strings.Count(dot, "--") != 3 {
+		t.Fatalf("edge count in dot:\n%s", dot)
+	}
+	if strings.Count(dot, "fillcolor") != 3 {
+		t.Fatalf("vertex count in dot:\n%s", dot)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := ComplexOf(triangle(), MustSimplex(v(3, "d")))
+	data, err := c.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(back) {
+		t.Fatalf("round trip changed the complex:\n%v\nvs\n%v", c, back)
+	}
+}
+
+func TestFromJSONRejectsGarbage(t *testing.T) {
+	if _, err := FromJSON([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := FromJSON([]byte(`{"facets":[[{"p":0,"label":"a"},{"p":0,"label":"b"}]]}`)); err == nil {
+		t.Fatal("non-chromatic facet accepted")
+	}
+}
+
+func TestDescribeSummary(t *testing.T) {
+	c := ComplexOf(triangle())
+	s := c.DescribeSummary()
+	for _, want := range []string{"dim=2", "simplexes=7", "facets=1", "chi=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}

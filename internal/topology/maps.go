@@ -1,0 +1,204 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexMap carries vertices of one complex to vertices of another. The
+// paper's lemmas (11, 14, 19) exhibit explicit vertex maps L between
+// protocol complexes and pseudospheres; VerifyIsomorphism checks those maps
+// mechanically.
+type VertexMap map[Vertex]Vertex
+
+// Apply carries a simplex through the map. It reports an error if some
+// vertex is not in the map's domain or the image is not a simplex (i.e. the
+// map is not color-preserving enough to keep vertices distinct).
+func (m VertexMap) Apply(s Simplex) (Simplex, error) {
+	imgs := make([]Vertex, len(s))
+	for i, v := range s {
+		w, ok := m[v]
+		if !ok {
+			return nil, fmt.Errorf("topology: vertex %v not in map domain", v)
+		}
+		imgs[i] = w
+	}
+	return NewSimplex(imgs...)
+}
+
+// IsSimplicial reports whether m carries every simplex of src to a simplex
+// of dst.
+func (m VertexMap) IsSimplicial(src, dst *Complex) error {
+	for _, s := range src.AllSimplices() {
+		img, err := m.Apply(s)
+		if err != nil {
+			return fmt.Errorf("map not simplicial on %v: %w", s, err)
+		}
+		if !dst.Has(img) {
+			return fmt.Errorf("image %v of %v is not a simplex of the target", img, s)
+		}
+	}
+	return nil
+}
+
+// Inverse returns the inverse map; it reports an error if m is not
+// injective.
+func (m VertexMap) Inverse() (VertexMap, error) {
+	inv := make(VertexMap, len(m))
+	for v, w := range m {
+		if prev, ok := inv[w]; ok {
+			return nil, fmt.Errorf("topology: map is not injective: %v and %v both map to %v", prev, v, w)
+		}
+		inv[w] = v
+	}
+	return inv, nil
+}
+
+// VerifyIsomorphism checks that m is a simplicial isomorphism from src onto
+// dst: a bijection on vertices that is simplicial in both directions. This
+// is the notion of isomorphism (surjective, one-to-one simplicial map) used
+// throughout the paper.
+func VerifyIsomorphism(src, dst *Complex, m VertexMap) error {
+	srcVerts := src.Vertices()
+	dstVerts := dst.Vertices()
+	if len(srcVerts) != len(dstVerts) {
+		return fmt.Errorf("topology: vertex counts differ: %d vs %d", len(srcVerts), len(dstVerts))
+	}
+	if len(m) != len(srcVerts) {
+		return fmt.Errorf("topology: map domain has %d vertices, complex has %d", len(m), len(srcVerts))
+	}
+	for _, v := range srcVerts {
+		if _, ok := m[v]; !ok {
+			return fmt.Errorf("topology: vertex %v of source not in map domain", v)
+		}
+	}
+	inv, err := m.Inverse()
+	if err != nil {
+		return err
+	}
+	for _, w := range dstVerts {
+		if _, ok := inv[w]; !ok {
+			return fmt.Errorf("topology: vertex %v of target not in map image", w)
+		}
+	}
+	if err := m.IsSimplicial(src, dst); err != nil {
+		return fmt.Errorf("topology: forward direction: %w", err)
+	}
+	if err := inv.IsSimplicial(dst, src); err != nil {
+		return fmt.Errorf("topology: inverse direction: %w", err)
+	}
+	return nil
+}
+
+// ChromaticIsomorphic searches for a color-preserving simplicial
+// isomorphism between two complexes by backtracking over per-process label
+// bijections. It is intended for small complexes (tests); the explicit
+// VerifyIsomorphism path is preferred where the paper gives the map.
+func ChromaticIsomorphic(a, b *Complex) bool {
+	if a.Size() != b.Size() || a.Dim() != b.Dim() {
+		return false
+	}
+	labelsA := labelsByProcess(a)
+	labelsB := labelsByProcess(b)
+	if len(labelsA) != len(labelsB) {
+		return false
+	}
+	ids := make([]int, 0, len(labelsA))
+	for p := range labelsA {
+		if len(labelsA[p]) != len(labelsB[p]) {
+			return false
+		}
+		ids = append(ids, p)
+	}
+	sort.Ints(ids)
+	m := make(VertexMap)
+	return matchProcess(a, b, ids, 0, labelsA, labelsB, m)
+}
+
+func labelsByProcess(c *Complex) map[int][]string {
+	out := make(map[int][]string)
+	for _, v := range c.Vertices() {
+		out[v.P] = append(out[v.P], v.Label)
+	}
+	for p := range out {
+		sort.Strings(out[p])
+	}
+	return out
+}
+
+// matchProcess assigns a bijection between the labels of process ids[i] in
+// a and b, then recurses; when all processes are assigned, it verifies the
+// full map. Degree-based pruning keeps the search tractable on the small
+// complexes used in tests.
+func matchProcess(a, b *Complex, ids []int, i int, la, lb map[int][]string, m VertexMap) bool {
+	if i == len(ids) {
+		return VerifyIsomorphism(a, b, m) == nil
+	}
+	p := ids[i]
+	return permute(la[p], lb[p], func(pairing map[string]string) bool {
+		for s, t := range pairing {
+			m[Vertex{P: p, Label: s}] = Vertex{P: p, Label: t}
+		}
+		ok := partialConsistent(a, b, m) && matchProcess(a, b, ids, i+1, la, lb, m)
+		if !ok {
+			for s := range pairing {
+				delete(m, Vertex{P: p, Label: s})
+			}
+		}
+		return ok
+	})
+}
+
+// permute enumerates bijections from xs onto ys, invoking try on each; it
+// stops and reports true as soon as try does.
+func permute(xs, ys []string, try func(map[string]string) bool) bool {
+	n := len(xs)
+	used := make([]bool, n)
+	pairing := make(map[string]string, n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return try(pairing)
+		}
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			pairing[xs[i]] = ys[j]
+			if rec(i + 1) {
+				return true
+			}
+			delete(pairing, xs[i])
+			used[j] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// partialConsistent checks that every simplex of a whose vertices are all
+// in the current partial map lands in b, and symmetrically for edge counts;
+// a cheap prune for the backtracking search.
+func partialConsistent(a, b *Complex, m VertexMap) bool {
+	for _, s := range a.AllSimplices() {
+		img := make([]Vertex, 0, len(s))
+		full := true
+		for _, v := range s {
+			w, ok := m[v]
+			if !ok {
+				full = false
+				break
+			}
+			img = append(img, w)
+		}
+		if !full {
+			continue
+		}
+		t, err := NewSimplex(img...)
+		if err != nil || !b.Has(t) {
+			return false
+		}
+	}
+	return true
+}

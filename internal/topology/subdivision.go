@@ -1,0 +1,46 @@
+package topology
+
+// BarycentricSubdivision returns the barycentric subdivision of c together
+// with the carrier map: each subdivision vertex is the barycenter of a
+// simplex of c (its carrier). Subdivision vertices are colored by the
+// dimension of their carrier, which is the standard chromatic structure on
+// a barycentric subdivision (a chain of faces has strictly increasing
+// dimensions, so every simplex of the subdivision has distinct colors).
+//
+// The subdivision is the combinatorial engine behind Sperner's Lemma, which
+// the paper uses (via Lefschetz) to prove Theorem 9.
+func BarycentricSubdivision(c *Complex) (*Complex, map[Vertex]Simplex) {
+	sd := NewComplex()
+	carrier := make(map[Vertex]Simplex)
+
+	vertexFor := func(s Simplex) Vertex {
+		v := Vertex{P: s.Dim(), Label: s.Key()}
+		carrier[v] = s
+		return v
+	}
+
+	// Enumerate maximal chains of faces under every facet; all shorter
+	// chains arise as their faces via Add's closure.
+	var extend func(chain []Simplex, top Simplex)
+	extend = func(chain []Simplex, top Simplex) {
+		if top.Dim() == 0 {
+			vs := make([]Vertex, len(chain))
+			for i, s := range chain {
+				vs[i] = vertexFor(s)
+			}
+			sd.Add(MustSimplex(vs...))
+			return
+		}
+		for i := range top {
+			f := top.Face(i)
+			next := make([]Simplex, len(chain)+1)
+			copy(next, chain)
+			next[len(chain)] = f
+			extend(next, f)
+		}
+	}
+	for _, facet := range c.Facets() {
+		extend([]Simplex{facet}, facet)
+	}
+	return sd, carrier
+}

@@ -1,0 +1,126 @@
+package views
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Decode parses a canonical view encoding produced by Encode. Input values
+// must not contain the reserved characters '=', '[', ']', '(', ')', ';',
+// ':' or '@' (the model packages and protocols only use plain value
+// strings, so this is not restrictive in practice). Decode(Encode(v))
+// reconstructs a view with the same encoding.
+func Decode(s string) (*View, error) {
+	v, rest, err := parseView(s)
+	if err != nil {
+		return nil, err
+	}
+	if rest != "" {
+		return nil, fmt.Errorf("views: trailing input %q", rest)
+	}
+	return v, nil
+}
+
+// parseView parses one view from the front of s.
+func parseView(s string) (*View, string, error) {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return nil, "", fmt.Errorf("views: expected process id at %q", s)
+	}
+	p, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return nil, "", err
+	}
+	if i >= len(s) {
+		return nil, "", fmt.Errorf("views: truncated view after id %d", p)
+	}
+	switch s[i] {
+	case '=':
+		// Round-0 view: input runs to the first structural delimiter of
+		// the ENCLOSING view (')' or ';') or end of string.
+		j := i + 1
+		for j < len(s) && s[j] != ')' && s[j] != ';' {
+			j++
+		}
+		return Initial(p, s[i+1:j]), s[j:], nil
+	case '[':
+		body, rest, err := balanced(s[i:], '[', ']')
+		if err != nil {
+			return nil, "", err
+		}
+		heard := make(map[int]*View)
+		meta := make(map[int]string)
+		for body != "" {
+			entry := body
+			// Entry: sender[@meta]:(view). The separator is the first
+			// colon: the head holds only digits and an optional "@meta".
+			colon := strings.IndexByte(entry, ':')
+			if colon < 0 {
+				return nil, "", fmt.Errorf("views: malformed entry %q", entry)
+			}
+			head := entry[:colon]
+			senderStr, metaStr, hasMeta := strings.Cut(head, "@")
+			sender, err := strconv.Atoi(senderStr)
+			if err != nil {
+				return nil, "", fmt.Errorf("views: bad sender %q", head)
+			}
+			if colon+1 >= len(entry) || entry[colon+1] != '(' {
+				return nil, "", fmt.Errorf("views: expected '(' in entry %q", entry)
+			}
+			inner, after, err := balanced(entry[colon+1:], '(', ')')
+			if err != nil {
+				return nil, "", err
+			}
+			sub, leftover, err := parseView(inner)
+			if err != nil {
+				return nil, "", err
+			}
+			if leftover != "" {
+				return nil, "", fmt.Errorf("views: trailing %q inside entry", leftover)
+			}
+			heard[sender] = sub
+			if hasMeta {
+				meta[sender] = metaStr
+			}
+			if after == "" {
+				body = ""
+			} else if after[0] == ';' {
+				body = after[1:]
+			} else {
+				return nil, "", fmt.Errorf("views: expected ';' between entries, got %q", after)
+			}
+		}
+		v := Next(p, heard)
+		if len(meta) > 0 {
+			v.Meta = meta
+		}
+		return v, rest, nil
+	default:
+		return nil, "", fmt.Errorf("views: unexpected %q after id %d", s[i], p)
+	}
+}
+
+// balanced consumes a balanced open...close group from the front of s
+// (s[0] must be open) and returns the interior and the remainder.
+func balanced(s string, open, close byte) (string, string, error) {
+	if len(s) == 0 || s[0] != open {
+		return "", "", fmt.Errorf("views: expected %q at %q", string(open), s)
+	}
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case open:
+			depth++
+		case close:
+			depth--
+			if depth == 0 {
+				return s[1:i], s[i+1:], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("views: unbalanced %q in %q", string(open), s)
+}

@@ -1,0 +1,82 @@
+package views
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeRoundTripInitial(t *testing.T) {
+	v := Initial(3, "hello")
+	back, err := Decode(v.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Encode() != v.Encode() {
+		t.Fatalf("round trip: %q vs %q", back.Encode(), v.Encode())
+	}
+}
+
+func TestDecodeRoundTripNested(t *testing.T) {
+	a, b, c := Initial(0, "x"), Initial(1, "y"), Initial(2, "z")
+	r1 := Next(0, map[int]*View{0: a, 1: b})
+	r1b := Next(2, map[int]*View{1: b, 2: c})
+	r2 := Next(0, map[int]*View{0: r1, 2: r1b})
+	back, err := Decode(r2.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Encode() != r2.Encode() {
+		t.Fatalf("round trip: %q vs %q", back.Encode(), r2.Encode())
+	}
+	if back.Round != 2 || len(back.ValuesSeen()) != 3 {
+		t.Fatalf("structure lost: round=%d values=%v", back.Round, back.ValuesSeen())
+	}
+}
+
+func TestDecodeRoundTripMeta(t *testing.T) {
+	a, b := Initial(0, "u"), Initial(1, "w")
+	v := Next(0, map[int]*View{0: a, 1: b})
+	v.Meta = map[int]string{0: "2", 1: "1"}
+	back, err := Decode(v.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Encode() != v.Encode() {
+		t.Fatalf("round trip: %q vs %q", back.Encode(), v.Encode())
+	}
+	if back.Meta[1] != "1" {
+		t.Fatalf("meta lost: %v", back.Meta)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"", "x", "3", "3[", "3[0:(1=a]", "3[zz:(1=a)]", "3[0:(1=a)extra]",
+		"1=a trailing)",
+	} {
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+// TestDecodeRoundTripQuick round-trips random small view structures.
+func TestDecodeRoundTripQuick(t *testing.T) {
+	prop := func(inputs [3]uint8, include [3]bool, withMeta bool) bool {
+		heard := make(map[int]*View)
+		for i := 0; i < 3; i++ {
+			if include[i] || i == 0 {
+				heard[i] = Initial(i, string(rune('a'+inputs[i]%5)))
+			}
+		}
+		v := Next(0, heard)
+		if withMeta {
+			v.Meta = map[int]string{0: "3"}
+		}
+		back, err := Decode(v.Encode())
+		return err == nil && back.Encode() == v.Encode()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

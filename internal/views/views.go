@@ -1,0 +1,143 @@
+// Package views implements full-information local states. In every model
+// the paper considers (Section 4), a process's local state is its input
+// value plus the sequence of messages received so far, and the
+// full-information protocol sends the entire local state in every message.
+// A View is therefore a recursive structure: a round-r view maps each
+// heard-from sender to that sender's round-(r-1) view.
+//
+// Views have canonical string encodings, which the model packages use as
+// vertex labels: two global states share a vertex exactly when a process
+// has the same local state in both, which is the paper's notion of
+// similarity.
+package views
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// View is a full-information local state.
+//
+// A round-0 view is just the process's input. A round-r view (r >= 1)
+// records, for every process heard from during round r (including the
+// process itself), that sender's round-(r-1) view. Meta optionally carries
+// model-specific per-sender data (e.g. the microround of the last message
+// in the semi-synchronous model); it contributes to the encoding when
+// present.
+type View struct {
+	P     int            // process id
+	Input string         // input value (meaningful at round 0 and preserved upward)
+	Round int            // number of completed rounds
+	Heard map[int]*View  // sender -> sender's previous-round view (round >= 1)
+	Meta  map[int]string // optional per-sender annotation (e.g. microround)
+
+	enc string // memoized canonical encoding
+}
+
+// Initial returns the round-0 view of process p with the given input.
+func Initial(p int, input string) *View {
+	return &View{P: p, Input: input}
+}
+
+// Next returns the round-(v.Round+1) view of process p that heard the given
+// predecessor views. The sender set must include p itself in all of the
+// paper's models; Next does not enforce this so that adversarial variants
+// can be modeled.
+func Next(p int, heard map[int]*View) *View {
+	v := &View{P: p, Round: 0, Heard: heard}
+	for _, h := range heard {
+		if h.Round+1 > v.Round {
+			v.Round = h.Round + 1
+		}
+	}
+	if self, ok := heard[p]; ok {
+		v.Input = self.Input
+	}
+	return v
+}
+
+// Encode returns the canonical encoding of the view. Encodings are
+// injective on views: equal strings imply structurally equal views.
+func (v *View) Encode() string {
+	if v.enc != "" {
+		return v.enc
+	}
+	if v.Round == 0 && len(v.Heard) == 0 {
+		v.enc = fmt.Sprintf("%d=%s", v.P, v.Input)
+		return v.enc
+	}
+	senders := make([]int, 0, len(v.Heard))
+	for s := range v.Heard {
+		senders = append(senders, s)
+	}
+	sort.Ints(senders)
+	parts := make([]string, len(senders))
+	for i, s := range senders {
+		meta := ""
+		if m, ok := v.Meta[s]; ok {
+			meta = "@" + m
+		}
+		parts[i] = fmt.Sprintf("%d%s:(%s)", s, meta, v.Heard[s].Encode())
+	}
+	v.enc = fmt.Sprintf("%d[%s]", v.P, strings.Join(parts, ";"))
+	return v.enc
+}
+
+// ValuesSeen returns the sorted set of input values visible in the view:
+// the inputs of every process whose round-0 view is reachable through the
+// heard-from structure (always including the process's own input at round
+// 0).
+func (v *View) ValuesSeen() []string {
+	set := make(map[string]bool)
+	v.collectValues(set)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (v *View) collectValues(into map[string]bool) {
+	if v.Round == 0 && len(v.Heard) == 0 {
+		into[v.Input] = true
+		return
+	}
+	for _, h := range v.Heard {
+		h.collectValues(into)
+	}
+}
+
+// ProcessesSeen returns the sorted set of process ids whose states (at any
+// round) appear in the view, including v.P.
+func (v *View) ProcessesSeen() []int {
+	set := make(map[int]bool)
+	v.collectProcs(set)
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (v *View) collectProcs(into map[int]bool) {
+	into[v.P] = true
+	for _, h := range v.Heard {
+		h.collectProcs(into)
+	}
+}
+
+// HeardIDs returns the sorted sender set of the final round of the view.
+func (v *View) HeardIDs() []int {
+	out := make([]int, 0, len(v.Heard))
+	for s := range v.Heard {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String is Encode, for debugging.
+func (v *View) String() string { return v.Encode() }

@@ -1,0 +1,111 @@
+package views
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInitialView(t *testing.T) {
+	v := Initial(2, "x")
+	if v.Encode() != "2=x" {
+		t.Fatalf("encode = %q", v.Encode())
+	}
+	vals := v.ValuesSeen()
+	if len(vals) != 1 || vals[0] != "x" {
+		t.Fatalf("values = %v", vals)
+	}
+	procs := v.ProcessesSeen()
+	if len(procs) != 1 || procs[0] != 2 {
+		t.Fatalf("procs = %v", procs)
+	}
+}
+
+func TestNextView(t *testing.T) {
+	a, b := Initial(0, "u"), Initial(1, "w")
+	next := Next(0, map[int]*View{0: a, 1: b})
+	if next.Round != 1 {
+		t.Fatalf("round = %d", next.Round)
+	}
+	if next.Input != "u" {
+		t.Fatalf("input = %q (must be preserved from the self view)", next.Input)
+	}
+	vals := next.ValuesSeen()
+	if len(vals) != 2 || vals[0] != "u" || vals[1] != "w" {
+		t.Fatalf("values = %v", vals)
+	}
+	heard := next.HeardIDs()
+	if len(heard) != 2 || heard[0] != 0 || heard[1] != 1 {
+		t.Fatalf("heard = %v", heard)
+	}
+}
+
+func TestEncodeDistinguishesStructures(t *testing.T) {
+	a, b := Initial(0, "u"), Initial(1, "w")
+	v1 := Next(0, map[int]*View{0: a, 1: b})
+	v2 := Next(0, map[int]*View{0: a})
+	if v1.Encode() == v2.Encode() {
+		t.Fatal("different heard sets must encode differently")
+	}
+	v3 := Next(0, map[int]*View{0: a, 1: Initial(1, "z")})
+	if v1.Encode() == v3.Encode() {
+		t.Fatal("different predecessor inputs must encode differently")
+	}
+}
+
+func TestMetaAffectsEncoding(t *testing.T) {
+	a, b := Initial(0, "u"), Initial(1, "w")
+	v1 := Next(0, map[int]*View{0: a, 1: b})
+	v2 := Next(0, map[int]*View{0: a, 1: b})
+	v2.Meta = map[int]string{1: "3"}
+	if v1.Encode() == v2.Encode() {
+		t.Fatal("meta annotations must affect the encoding")
+	}
+}
+
+func TestMultiRoundValues(t *testing.T) {
+	a, b, c := Initial(0, "0"), Initial(1, "1"), Initial(2, "2")
+	r1a := Next(0, map[int]*View{0: a, 1: b})
+	r1c := Next(2, map[int]*View{2: c})
+	r2 := Next(0, map[int]*View{0: r1a, 2: r1c})
+	if r2.Round != 2 {
+		t.Fatalf("round = %d", r2.Round)
+	}
+	vals := r2.ValuesSeen()
+	if len(vals) != 3 {
+		t.Fatalf("values = %v, want all three inputs", vals)
+	}
+	procs := r2.ProcessesSeen()
+	if len(procs) != 3 {
+		t.Fatalf("procs = %v", procs)
+	}
+}
+
+// TestEncodeInjectiveQuick checks on random two-process view structures
+// that distinct structures encode distinctly.
+func TestEncodeInjectiveQuick(t *testing.T) {
+	build := func(in0, in1 uint8, hear0, hear1 bool) *View {
+		a := Initial(0, string(rune('a'+in0%3)))
+		b := Initial(1, string(rune('a'+in1%3)))
+		heard := map[int]*View{0: a}
+		if hear0 {
+			heard[1] = b
+		}
+		v := Next(0, heard)
+		if hear1 {
+			v.Meta = map[int]string{0: "1"}
+		}
+		return v
+	}
+	prop := func(x, y [4]uint8) bool {
+		v1 := build(x[0], x[1], x[2]%2 == 0, x[3]%2 == 0)
+		v2 := build(y[0], y[1], y[2]%2 == 0, y[3]%2 == 0)
+		same := x[0]%3 == y[0]%3 &&
+			(x[2]%2 == y[2]%2) &&
+			(x[3]%2 == y[3]%2) &&
+			(x[2]%2 != 0 || x[1]%3 == y[1]%3)
+		return same == (v1.Encode() == v2.Encode())
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
