@@ -7,6 +7,10 @@
 //	connectivity -model async -n 2 -f 1 -r 1 [-m 2]
 //	connectivity -model sync -n 3 -k 1 -r 2
 //	connectivity -model semisync -n 2 -k 1 -r 1 -c1 1 -c2 2 -d 2
+//
+// The homology engine runs parallel (-workers, default NumCPU) and
+// memoized (-cache, default on); Betti output is identical for every
+// worker count.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"pseudosphere/internal/asyncmodel"
 	"pseudosphere/internal/homology"
@@ -27,6 +32,8 @@ type config struct {
 	n, m, f, k int
 	r          int
 	c1, c2, d  int
+	workers    int
+	cache      bool
 }
 
 func main() {
@@ -40,6 +47,8 @@ func main() {
 	flag.IntVar(&cfg.c1, "c1", 1, "semisync: min step interval")
 	flag.IntVar(&cfg.c2, "c2", 2, "semisync: max step interval")
 	flag.IntVar(&cfg.d, "d", 2, "semisync: max delivery delay")
+	flag.IntVar(&cfg.workers, "workers", 0, "homology worker goroutines (0 = NumCPU)")
+	flag.BoolVar(&cfg.cache, "cache", true, "memoize homology by canonical complex hash")
 	flag.Parse()
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "connectivity:", err)
@@ -95,18 +104,35 @@ func run(w io.Writer, cfg config) error {
 		return fmt.Errorf("unknown model %q", cfg.model)
 	}
 
+	var cache *homology.Cache
+	if cfg.cache {
+		cache = homology.NewCache()
+	}
+	eng := homology.NewEngine(cfg.workers, cache)
+
 	fmt.Fprintf(w, "%s\n", complexName)
 	fmt.Fprintf(w, "f-vector:      %v\n", c.FVector())
 	fmt.Fprintf(w, "facets:        %d\n", len(c.Facets()))
-	conn := homology.Connectivity(c)
+	conn := eng.Connectivity(c)
 	fmt.Fprintf(w, "connectivity:  %d\n", conn)
 	fmt.Fprintf(w, "paper target:  %d-connected per %s\n", target, condition)
-	if homology.IsKConnected(c, target) {
+	if eng.IsKConnected(c, target) {
 		fmt.Fprintf(w, "verdict:       matches the paper\n")
 	} else {
 		fmt.Fprintf(w, "verdict:       BELOW the paper's prediction (check the side condition)\n")
 	}
+	if cache != nil {
+		hits, misses, _ := eng.CacheStats()
+		fmt.Fprintf(w, "engine:        workers=%d cache hits=%d misses=%d\n", workerCount(cfg.workers), hits, misses)
+	}
 	return nil
+}
+
+func workerCount(flagged int) int {
+	if flagged > 0 {
+		return flagged
+	}
+	return runtime.NumCPU()
 }
 
 func inputSimplex(m int) topology.Simplex {

@@ -27,6 +27,11 @@ func TestRunAllModels(t *testing.T) {
 			cfg:  config{model: "semisync", n: 2, m: -1, k: 1, r: 1, c1: 1, c2: 2, d: 2},
 			want: "M^1(S^2), n=2 k=1 p=2",
 		},
+		{
+			name: "async parallel cached",
+			cfg:  config{model: "async", n: 2, m: -1, f: 1, r: 1, workers: 2, cache: true},
+			want: "cache hits=1 misses=1",
+		},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	experiments [-id E5] [-markdown]
+//	experiments [-id E5] [-markdown] [-workers 4] [-cache=false]
+//
+// Connectivity queries run on the parallel memoized homology engine;
+// -workers sets its goroutine budget (0 = NumCPU) and -cache=false forces
+// every query to recompute.
 package main
 
 import (
@@ -19,7 +23,10 @@ import (
 func main() {
 	id := flag.String("id", "", "run a single experiment (e.g. E5); default all")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	workers := flag.Int("workers", 0, "homology worker goroutines (0 = NumCPU)")
+	cache := flag.Bool("cache", true, "memoize homology by canonical complex hash")
 	flag.Parse()
+	experiments.ConfigureEngine(*workers, *cache)
 	if err := run(os.Stdout, *id, *markdown); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -50,6 +57,9 @@ func run(w io.Writer, id string, markdown bool) error {
 	}
 	if !anyRun {
 		return fmt.Errorf("no experiment named %q", id)
+	}
+	if hits, misses, entries := experiments.EngineStats(); hits+misses > 0 {
+		fmt.Fprintf(w, "homology cache: %d hits, %d misses, %d distinct complexes\n", hits, misses, entries)
 	}
 	if mismatches > 0 {
 		return fmt.Errorf("%d experiment(s) had mismatching rows", mismatches)

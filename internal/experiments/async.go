@@ -5,7 +5,6 @@ import (
 
 	"pseudosphere/internal/asyncmodel"
 	"pseudosphere/internal/bounds"
-	"pseudosphere/internal/homology"
 	"pseudosphere/internal/protocols"
 	"pseudosphere/internal/sim"
 	"pseudosphere/internal/task"
@@ -78,7 +77,7 @@ func E4AsyncConnectivity() (*Table, error) {
 			return nil, err
 		}
 		target := c.m - (c.p.N - c.p.F) - 1
-		ok := homology.IsKConnected(res.Complex, target)
+		ok := conn.IsKConnected(res.Complex, target)
 		t.addRow(ok,
 			fmt.Sprintf("A^%d(S^%d), n=%d f=%d", c.r, c.m, c.p.N, c.p.F),
 			fmt.Sprintf("%d-connected", target),

@@ -1,0 +1,29 @@
+package experiments
+
+import "pseudosphere/internal/homology"
+
+// conn is the homology engine every experiment's connectivity and Betti
+// query routes through. The experiments repeatedly interrogate unions,
+// intersections, links, and skeleta of the same round complexes (the
+// Mayer–Vietoris sweeps especially), so memoization is on by default and
+// the worker budget follows runtime.NumCPU().
+var conn = homology.NewEngine(0, homology.NewCache())
+
+// ConfigureEngine replaces the shared engine: workers <= 0 selects
+// runtime.NumCPU(), and cached=false disables memoization so every query
+// recomputes (the configuration the differential benchmarks compare
+// against). Call it before running experiments; it is not synchronized
+// with concurrent experiment runs.
+func ConfigureEngine(workers int, cached bool) {
+	var cache *homology.Cache
+	if cached {
+		cache = homology.NewCache()
+	}
+	conn = homology.NewEngine(workers, cache)
+}
+
+// EngineStats reports the shared engine's cache counters; all zeros when
+// the engine runs uncached.
+func EngineStats() (hits, misses uint64, entries int) {
+	return conn.CacheStats()
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"pseudosphere/internal/core"
+	"pseudosphere/internal/homology"
+)
+
+// TestSharedEngineConcurrentQueries hammers the package's shared cached
+// engine from many goroutines on the complexes the experiments actually
+// query; under -race this certifies experiments can safely share conn.
+func TestSharedEngineConcurrentQueries(t *testing.T) {
+	sphere := core.MustUniform(core.ProcessSimplex(2), binary)
+	circle := core.MustUniform(core.ProcessSimplex(1), binary)
+	const goroutines, iters = 12, 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if !conn.IsKConnected(sphere, 1) || conn.IsKConnected(sphere, 2) {
+					t.Error("sphere connectivity wrong under concurrency")
+					return
+				}
+				if b := conn.BettiZ2(circle); b[0] != 1 || b[1] != 1 {
+					t.Error("circle Betti wrong under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConfigureEngine checks the uncached configuration still agrees with
+// the serial reference and that reconfiguration replaces the engine.
+func TestConfigureEngine(t *testing.T) {
+	defer ConfigureEngine(0, true) // restore the default for other tests
+	ConfigureEngine(2, false)
+	sphere := core.MustUniform(core.ProcessSimplex(2), binary)
+	want := homology.BettiZ2(sphere)
+	got := conn.BettiZ2(sphere)
+	for d := range want {
+		if got[d] != want[d] {
+			t.Fatalf("uncached engine betti %v, want %v", got, want)
+		}
+	}
+	if hits, misses, entries := EngineStats(); hits+misses != 0 || entries != 0 {
+		t.Fatalf("uncached engine reported cache stats %d/%d/%d", hits, misses, entries)
+	}
+	ConfigureEngine(0, true)
+	conn.BettiZ2(sphere)
+	conn.BettiZ2(sphere)
+	if hits, _, entries := EngineStats(); hits == 0 || entries != 1 {
+		t.Fatalf("cached engine stats: hits=%d entries=%d, want hits>0 entries=1", hits, entries)
+	}
+}

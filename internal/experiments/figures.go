@@ -21,7 +21,7 @@ func E1Figure1() (*Table, error) {
 	t.addRow(fv[2] == 8, "triangles", "8", itoa(fv[2]))
 	chi := ps.EulerCharacteristic()
 	t.addRow(chi == 2, "Euler characteristic", "2 (sphere)", itoa(chi))
-	betti := homology.BettiZ2(ps)
+	betti := conn.BettiZ2(ps)
 	t.addRow(betti[0] == 1 && betti[1] == 0 && betti[2] == 1,
 		"Betti numbers", "[1 0 1] (S^2)", ints(betti))
 	trivial, conclusive := homology.Pi1Trivial(ps)
@@ -37,18 +37,18 @@ func E2Figure2() (*Table, error) {
 	circle := core.MustUniform(core.ProcessSimplex(1), binary)
 	fv := circle.FVector()
 	t.addRow(fv[0] == 4 && fv[1] == 4, "psi(S^1;{0,1})", "f-vector", "[4 4] (4-cycle)", ints(fv))
-	betti := homology.BettiZ2(circle)
+	betti := conn.BettiZ2(circle)
 	t.addRow(betti[0] == 1 && betti[1] == 1, "psi(S^1;{0,1})", "Betti", "[1 1] (circle)", ints(betti))
 
 	k33 := core.MustUniform(core.ProcessSimplex(1), []string{"0", "1", "2"})
 	fv = k33.FVector()
 	t.addRow(fv[0] == 6 && fv[1] == 9, "psi(S^1;{0,1,2})", "f-vector", "[6 9] (K33)", ints(fv))
-	betti = homology.BettiZ2(k33)
+	betti = conn.BettiZ2(k33)
 	t.addRow(betti[0] == 1 && betti[1] == 4, "psi(S^1;{0,1,2})", "Betti", "[1 4]", ints(betti))
 
 	// Higher-dimensional sanity: psi(S^n;{0,1}) ~ S^n for n = 3.
 	s3 := core.MustUniform(core.ProcessSimplex(3), binary)
-	betti = homology.BettiZ2(s3)
+	betti = conn.BettiZ2(s3)
 	t.addRow(betti[0] == 1 && betti[1] == 0 && betti[2] == 0 && betti[3] == 1,
 		"psi(S^3;{0,1})", "Betti", "[1 0 0 1] (S^3)", ints(betti))
 	return t, nil
@@ -88,7 +88,7 @@ func E11PseudosphereAlgebra() (*Table, error) {
 	// Corollary 6: (m-1)-connectivity.
 	for m := 1; m <= 3; m++ {
 		ps := core.MustUniform(core.ProcessSimplex(m), binary)
-		ok = homology.IsKConnected(ps, m-1)
+		ok = conn.IsKConnected(ps, m-1)
 		t.addRow(ok, "Corollary 6: (m-1)-connected", fmt.Sprintf("m=%d, binary", m), boolStr(ok))
 	}
 
@@ -96,7 +96,7 @@ func E11PseudosphereAlgebra() (*Table, error) {
 	u8 := core.MustUniform(core.ProcessSimplex(2), []string{"0", "1"})
 	u8.UnionWith(core.MustUniform(core.ProcessSimplex(2), []string{"1", "2"}))
 	u8.UnionWith(core.MustUniform(core.ProcessSimplex(2), []string{"1", "3"}))
-	ok = homology.IsKConnected(u8, 1)
+	ok = conn.IsKConnected(u8, 1)
 	t.addRow(ok, "Corollary 8: union (m-1)-connected", "m=2, common value 1", boolStr(ok))
 	return t, nil
 }

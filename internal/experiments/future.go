@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"pseudosphere/internal/bounds"
-	"pseudosphere/internal/homology"
 	"pseudosphere/internal/semisync"
 	"pseudosphere/internal/task"
 )
@@ -49,7 +48,7 @@ func E13FResilientSemiSync() (*Table, error) {
 				return nil, err
 			}
 			target := m - (c.n - c.k) - 1
-			if !homology.IsKConnected(res.Complex, target) {
+			if !conn.IsKConnected(res.Complex, target) {
 				allOK = false
 			}
 		}

@@ -5,7 +5,6 @@ import (
 
 	"pseudosphere/internal/asyncmodel"
 	"pseudosphere/internal/core"
-	"pseudosphere/internal/homology"
 	"pseudosphere/internal/iis"
 	"pseudosphere/internal/pc"
 	"pseudosphere/internal/similarity"
@@ -43,9 +42,9 @@ func E14IISComparison() (*Table, error) {
 	// Connectivity: both single-input one-round complexes are highly
 	// connected (the IIS round is even contractible: it subdivides the
 	// input simplex).
-	mpConn := homology.IsKConnected(mp.Complex, 1)
+	mpConn := conn.IsKConnected(mp.Complex, 1)
 	t.addRow(mpConn, "message-passing round 1-connected (Lemma 12, f=n)", "yes", boolStr(mpConn))
-	isBetti := homology.ReducedBettiZ2(is.Complex)
+	isBetti := conn.ReducedBettiZ2(is.Complex)
 	contractible := true
 	for _, b := range isBetti {
 		if b != 0 {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"pseudosphere/internal/bounds"
-	"pseudosphere/internal/homology"
 	"pseudosphere/internal/protocols"
 	"pseudosphere/internal/semisync"
 	"pseudosphere/internal/sim"
@@ -95,7 +94,7 @@ func E10SemiSyncBound() (*Table, error) {
 			return nil, err
 		}
 		target := c.m - (c.n - c.k) - 1
-		ok := homology.IsKConnected(res.Complex, target)
+		ok := conn.IsKConnected(res.Complex, target)
 		t.addRow(ok,
 			fmt.Sprintf("M^%d(S^%d), n=%d k=%d", c.r, c.m, c.n, c.k),
 			fmt.Sprintf("%d-connected (n>=(r+1)k)", target), boolStr(ok))

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"pseudosphere/internal/bounds"
-	"pseudosphere/internal/homology"
 	"pseudosphere/internal/protocols"
 	"pseudosphere/internal/sim"
 	"pseudosphere/internal/syncmodel"
@@ -111,7 +110,7 @@ func E7SyncConnectivity() (*Table, error) {
 			return nil, err
 		}
 		target := c.m - (c.n - c.k) - 1
-		ok := homology.IsKConnected(res.Complex, target)
+		ok := conn.IsKConnected(res.Complex, target)
 		t.addRow(ok,
 			fmt.Sprintf("S^%d(S^%d), n=%d k=%d", c.r, c.m, c.n, c.k),
 			fmt.Sprintf("%d-connected (n>=rk+k)", target),

@@ -30,6 +30,46 @@ func BenchmarkBettiZ2(b *testing.B) {
 	}
 }
 
+// The engine ablation: the serial sparse reference against the bitset
+// representation, the sharded parallel reduction, and the memoized
+// configuration, all on the same complex (7^3 = 343 facets, enough
+// columns to engage the chunked reduction).
+func benchEngine(b *testing.B, e *Engine) {
+	c := benchSphereProduct(7)
+	want := BettiZ2(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := e.BettiZ2(c)
+		for d := range want {
+			if got[d] != want[d] {
+				b.Fatalf("betti = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkEngineSparseSerial(b *testing.B) {
+	e := NewEngine(1, nil)
+	e.Force = "sparse"
+	benchEngine(b, e)
+}
+
+func BenchmarkEngineBitsetSerial(b *testing.B) {
+	e := NewEngine(1, nil)
+	e.Force = "bitset"
+	benchEngine(b, e)
+}
+
+func BenchmarkEngineBitsetParallel(b *testing.B) {
+	e := NewEngine(4, nil)
+	e.Force = "bitset"
+	benchEngine(b, e)
+}
+
+func BenchmarkEngineCached(b *testing.B) {
+	benchEngine(b, NewEngine(4, NewCache()))
+}
+
 func BenchmarkBettiGFp(b *testing.B) {
 	c := benchSphereProduct(3)
 	b.ResetTimer()

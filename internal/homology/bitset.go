@@ -1,0 +1,122 @@
+package homology
+
+import "math/bits"
+
+// bitsetZ2Matrix is a boundary matrix over GF(2) stored column-wise as
+// packed 64-bit words: bit i of column j is entry (i, j). It is the dense
+// counterpart of sparseZ2Matrix; word-level XOR makes column addition run
+// 64 entries at a time and immune to the fill-in that bloats the sparse
+// representation during reduction.
+type bitsetZ2Matrix struct {
+	words [][]uint64 // per column: ceil(rows/64) words
+	low   []int      // cached highest set row index per column; -1 if zero
+	rows  int
+	wpc   int // words per column
+}
+
+func newBitsetZ2Matrix(rows, cols int) *bitsetZ2Matrix {
+	wpc := (rows + 63) / 64
+	m := &bitsetZ2Matrix{
+		words: make([][]uint64, cols),
+		low:   make([]int, cols),
+		rows:  rows,
+		wpc:   wpc,
+	}
+	for j := range m.words {
+		m.words[j] = make([]uint64, wpc)
+		m.low[j] = -1
+	}
+	return m
+}
+
+// toggle flips entry (i, j), preserving the parity semantics of
+// normalizeColumn. Callers must resetLow(j) once the column is built.
+func (m *bitsetZ2Matrix) toggle(j, i int) {
+	m.words[j][i>>6] ^= 1 << (uint(i) & 63)
+}
+
+// resetLow recomputes the cached low index of column j from scratch.
+func (m *bitsetZ2Matrix) resetLow(j int) {
+	m.low[j] = m.scanLow(j, m.wpc-1)
+}
+
+// scanLow returns the highest set row index of column j, scanning from
+// word fromWord downward; -1 if the column is zero below that word.
+func (m *bitsetZ2Matrix) scanLow(j, fromWord int) int {
+	w := m.words[j]
+	for k := fromWord; k >= 0; k-- {
+		if w[k] != 0 {
+			return k<<6 + bits.Len64(w[k]) - 1
+		}
+	}
+	return -1
+}
+
+// column returns the sorted row indices set in column j (the sparse view;
+// used by tests and the fuzzers to diff against the sparse engine).
+func (m *bitsetZ2Matrix) column(j int) []int {
+	var out []int
+	for k, w := range m.words[j] {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, k<<6+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// numCols, lowOf, and addInto implement z2store.
+func (m *bitsetZ2Matrix) numCols() int { return len(m.words) }
+
+func (m *bitsetZ2Matrix) lowOf(j int) int { return m.low[j] }
+
+func (m *bitsetZ2Matrix) addInto(dst, src int) {
+	hi := m.low[dst]
+	if m.low[src] > hi {
+		hi = m.low[src]
+	}
+	if hi < 0 {
+		return
+	}
+	d, s := m.words[dst], m.words[src]
+	top := hi >> 6
+	for k := 0; k <= top; k++ {
+		d[k] ^= s[k]
+	}
+	m.low[dst] = m.scanLow(dst, top)
+}
+
+// boundaryBitset builds the GF(2) boundary matrix ∂_d in bitset form; it
+// is the dense twin of boundaryZ2 and encodes exactly the same matrix.
+func (cc *ChainComplex) boundaryBitset(d int) *bitsetZ2Matrix {
+	if d <= 0 || d > cc.dim {
+		return newBitsetZ2Matrix(cc.Count(d-1), cc.Count(d))
+	}
+	m := newBitsetZ2Matrix(cc.Count(d-1), cc.Count(d))
+	for j, s := range cc.simplex[d] {
+		for i := range s {
+			m.toggle(j, cc.index[d-1][s.Face(i).Key()])
+		}
+		m.resetLow(j)
+	}
+	return m
+}
+
+// useBitset decides the boundary-matrix representation for a dimension
+// whose matrix has the given row count and nonzeros per column (a ∂_d
+// column has exactly d+1 entries). A bitset column costs ceil(rows/64)
+// words no matter how sparse the matrix is, while a sparse column starts
+// at nnzPerCol entries and then suffers fill-in during reduction —
+// empirically around an order of magnitude — so the dense form wins well
+// below the break-even density of one set bit per word. The rule keeps
+// the sparse path only for very large, very sparse boundary matrices.
+func useBitset(rows, nnzPerCol int) bool {
+	if rows <= 0 {
+		return false
+	}
+	if rows <= 4096 {
+		return true
+	}
+	return nnzPerCol*512 >= rows
+}

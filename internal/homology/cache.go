@@ -1,0 +1,68 @@
+package homology
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes Betti numbers keyed by topology.Complex.CanonicalHash.
+// The Mayer–Vietoris-style experiments repeatedly query unions,
+// intersections, links, and skeleta of the same complexes; a shared Cache
+// makes each distinct complex pay for reduction exactly once. A Cache is
+// safe for concurrent use by any number of goroutines and may be shared
+// between engines.
+type Cache struct {
+	mu     sync.RWMutex
+	betti  map[string][]int
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{betti: make(map[string][]int)}
+}
+
+// lookup returns a copy of the cached Betti numbers for the key, so that
+// callers (notably ReducedBettiZ2, which decrements b0 in place) can
+// never corrupt the cached value.
+func (c *Cache) lookup(key string) ([]int, bool) {
+	c.mu.RLock()
+	betti, ok := c.betti[key]
+	c.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	if betti == nil {
+		return nil, true
+	}
+	out := make([]int, len(betti))
+	copy(out, betti)
+	return out, true
+}
+
+// store records a private copy of the Betti numbers for the key.
+func (c *Cache) store(key string, betti []int) {
+	var cp []int
+	if betti != nil {
+		cp = make([]int, len(betti))
+		copy(cp, betti)
+	}
+	c.mu.Lock()
+	c.betti[key] = cp
+	c.mu.Unlock()
+}
+
+// Len returns the number of distinct complexes cached.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.betti)
+}
+
+// Stats returns the hit and miss counters and the entry count.
+func (c *Cache) Stats() (hits, misses uint64, entries int) {
+	return c.hits.Load(), c.misses.Load(), c.Len()
+}

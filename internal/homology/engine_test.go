@@ -1,0 +1,174 @@
+package homology
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pseudosphere/internal/topology"
+)
+
+func engineVariants() map[string]*Engine {
+	out := make(map[string]*Engine)
+	for _, workers := range []int{1, 2, 4} {
+		for _, force := range []string{"", "sparse", "bitset"} {
+			for _, cached := range []bool{false, true} {
+				var cache *Cache
+				if cached {
+					cache = NewCache()
+				}
+				e := NewEngine(workers, cache)
+				e.Force = force
+				out[fmt.Sprintf("w%d/%s/cache=%v", workers, force, cached)] = e
+			}
+		}
+	}
+	return out
+}
+
+// TestEngineMatchesSerialOnKnownComplexes diffs every engine configuration
+// against the serial reference on the package's standard fixtures, querying
+// each complex twice so cached configurations also exercise the hit path.
+func TestEngineMatchesSerialOnKnownComplexes(t *testing.T) {
+	fixtures := map[string]*topology.Complex{
+		"point":      topology.ComplexOf(topology.MustSimplex(v(0, "a"))),
+		"two points": twoPointComplex(),
+		"circle":     hollowTriangle(),
+		"disk":       solidTriangle(),
+		"sphere":     hollowTetrahedron(),
+		"empty":      topology.NewComplex(),
+	}
+	for name, e := range engineVariants() {
+		for fname, c := range fixtures {
+			want := BettiZ2(c)
+			for pass := 0; pass < 2; pass++ {
+				got := e.BettiZ2(c)
+				if !equalInts(got, want) {
+					t.Fatalf("%s: %s pass %d: betti = %v, want %v", name, fname, pass, got, want)
+				}
+				if gc, wc := e.Connectivity(c), Connectivity(c); gc != wc {
+					t.Fatalf("%s: %s: connectivity = %d, want %d", name, fname, gc, wc)
+				}
+				for k := -2; k <= 3; k++ {
+					if e.IsKConnected(c, k) != IsKConnected(c, k) {
+						t.Fatalf("%s: %s: IsKConnected(%d) disagrees with serial", name, fname, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineReducedBettiDoesNotCorruptCache guards the copy discipline:
+// ReducedBettiZ2 decrements b0 in place on the returned slice, which must
+// never reach the cached value.
+func TestEngineReducedBettiDoesNotCorruptCache(t *testing.T) {
+	e := NewEngine(2, NewCache())
+	c := hollowTetrahedron()
+	first := e.ReducedBettiZ2(c)
+	first[0] += 99 // caller-side mutation
+	second := e.ReducedBettiZ2(c)
+	want := ReducedBettiZ2(c)
+	if !equalInts(second, want) {
+		t.Fatalf("cached value corrupted: second query = %v, want %v", second, want)
+	}
+	hits, misses, entries := e.CacheStats()
+	if hits < 1 || misses < 1 || entries != 1 {
+		t.Fatalf("cache stats hits=%d misses=%d entries=%d, want >=1/>=1/1", hits, misses, entries)
+	}
+}
+
+// TestEngineCacheConcurrentHammer drives one shared cached engine from
+// many goroutines over a mix of complexes; run under -race this certifies
+// the cache and the sharded reductions publish no unsynchronized state.
+func TestEngineCacheConcurrentHammer(t *testing.T) {
+	e := NewEngine(4, NewCache())
+	complexes := []*topology.Complex{
+		hollowTriangle(),
+		hollowTetrahedron(),
+		solidTriangle(),
+		twoPointComplex(),
+		benchSphereProduct(3),
+	}
+	wants := make([][]int, len(complexes))
+	conns := make([]int, len(complexes))
+	for i, c := range complexes {
+		wants[i] = BettiZ2(c)
+		conns[i] = Connectivity(c)
+	}
+	const goroutines, iters = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ci := (g + i) % len(complexes)
+				if got := e.BettiZ2(complexes[ci]); !equalInts(got, wants[ci]) {
+					errs <- fmt.Errorf("goroutine %d: betti = %v, want %v", g, got, wants[ci])
+					return
+				}
+				if got := e.Connectivity(complexes[ci]); got != conns[ci] {
+					errs <- fmt.Errorf("goroutine %d: connectivity = %d, want %d", g, got, conns[ci])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if hits, misses, entries := e.CacheStats(); entries != len(complexes) || hits == 0 {
+		t.Fatalf("cache stats hits=%d misses=%d entries=%d, want %d entries and some hits",
+			hits, misses, entries, len(complexes))
+	}
+}
+
+// TestRankOfAgreesAcrossWorkerCounts checks the determinism guarantee at
+// the rank level on both representations. benchSphereProduct(7) has 343
+// triangle columns, above minParallelColumns, so the chunked path really
+// runs.
+func TestRankOfAgreesAcrossWorkerCounts(t *testing.T) {
+	cc := NewChainComplex(benchSphereProduct(7))
+	for d := 1; d <= cc.Dim(); d++ {
+		want := cc.boundaryZ2(d).rank()
+		for _, workers := range []int{1, 2, 3, 8} {
+			if got := rankOf(cc.boundaryZ2(d), workers); got != want {
+				t.Fatalf("sparse d=%d workers=%d: rank %d, want %d", d, workers, got, want)
+			}
+			if got := rankOf(cc.boundaryBitset(d), workers); got != want {
+				t.Fatalf("bitset d=%d workers=%d: rank %d, want %d", d, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestUseBitsetHeuristic(t *testing.T) {
+	if !useBitset(100, 3) {
+		t.Fatal("small matrices should pack into bitsets")
+	}
+	if useBitset(1<<20, 3) {
+		t.Fatal("huge sparse matrices should stay sparse")
+	}
+	if !useBitset(1<<20, 1<<12) {
+		t.Fatal("dense columns should pack into bitsets")
+	}
+	if useBitset(0, 3) {
+		t.Fatal("zero-row matrices need no representation")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

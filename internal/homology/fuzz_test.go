@@ -1,0 +1,110 @@
+package homology
+
+import (
+	"sort"
+	"testing"
+)
+
+// sortedSetFromBytes turns fuzzer bytes into a sorted duplicate-free int
+// slice — the representation invariant symDiff expects of its inputs.
+func sortedSetFromBytes(bs []byte, bound int) []int {
+	seen := make(map[int]bool, len(bs))
+	for _, b := range bs {
+		seen[int(b)%bound] = true
+	}
+	out := make([]int, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FuzzSymDiff diffs the merge-based symDiff against a map-based oracle
+// and checks the output invariants (sorted, duplicate-free).
+func FuzzSymDiff(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{255, 0, 7}, []byte{7, 7, 7})
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		a := sortedSetFromBytes(ab, 256)
+		b := sortedSetFromBytes(bb, 256)
+		got := symDiff(a, b)
+
+		oracle := make(map[int]bool)
+		for _, x := range a {
+			oracle[x] = !oracle[x]
+		}
+		for _, x := range b {
+			oracle[x] = !oracle[x]
+		}
+		want := make([]int, 0, len(oracle))
+		for x, on := range oracle {
+			if on {
+				want = append(want, x)
+			}
+		}
+		sort.Ints(want)
+
+		if len(got) != len(want) {
+			t.Fatalf("symDiff(%v, %v) = %v, want %v", a, b, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("symDiff(%v, %v) = %v, want %v", a, b, got, want)
+			}
+			if i > 0 && got[i] <= got[i-1] {
+				t.Fatalf("symDiff output not strictly increasing: %v", got)
+			}
+		}
+	})
+}
+
+// FuzzBitsetColumnOps cross-checks bitset column XOR and low-index
+// extraction against the sparse representation: toggling the same rows
+// must produce the same column, addInto must agree with symDiff, and the
+// cached low must equal the maximum surviving row index.
+func FuzzBitsetColumnOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4}, uint16(64))
+	f.Add([]byte{}, []byte{63, 64, 65}, uint16(130))
+	f.Add([]byte{0}, []byte{0}, uint16(1))
+	f.Fuzz(func(t *testing.T, ab, bb []byte, rows16 uint16) {
+		rows := int(rows16)%512 + 1
+		a := sortedSetFromBytes(ab, rows)
+		b := sortedSetFromBytes(bb, rows)
+
+		m := newBitsetZ2Matrix(rows, 2)
+		for _, i := range a {
+			m.toggle(0, i)
+		}
+		m.resetLow(0)
+		for _, i := range b {
+			m.toggle(1, i)
+		}
+		m.resetLow(1)
+
+		if got := m.column(0); !equalInts(got, a) {
+			t.Fatalf("column build mismatch: %v, want %v", got, a)
+		}
+		wantLow := -1
+		if len(b) > 0 {
+			wantLow = b[len(b)-1]
+		}
+		if m.lowOf(1) != wantLow {
+			t.Fatalf("lowOf = %d, want %d (col %v)", m.lowOf(1), wantLow, b)
+		}
+
+		m.addInto(0, 1)
+		want := symDiff(a, b)
+		if got := m.column(0); !equalInts(got, want) {
+			t.Fatalf("addInto mismatch: %v, want %v", got, want)
+		}
+		wantLow = -1
+		if len(want) > 0 {
+			wantLow = want[len(want)-1]
+		}
+		if m.lowOf(0) != wantLow {
+			t.Fatalf("low after addInto = %d, want %d", m.lowOf(0), wantLow)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package homology
+
+import (
+	"runtime"
+	"sync"
+
+	"pseudosphere/internal/topology"
+)
+
+// z2store is the minimal column-store interface the chunked GF(2)
+// reduction operates on; sparseZ2Matrix and bitsetZ2Matrix both satisfy
+// it. lowOf returns the highest row index with a 1 in the column (-1 for
+// a zero column) and addInto XORs column src into column dst.
+type z2store interface {
+	numCols() int
+	lowOf(j int) int
+	addInto(dst, src int)
+}
+
+func (m *sparseZ2Matrix) numCols() int { return len(m.cols) }
+
+func (m *sparseZ2Matrix) lowOf(j int) int {
+	col := m.cols[j]
+	if len(col) == 0 {
+		return -1
+	}
+	return col[len(col)-1]
+}
+
+func (m *sparseZ2Matrix) addInto(dst, src int) {
+	m.cols[dst] = symDiff(m.cols[dst], m.cols[src])
+}
+
+// reduceColumns runs the standard low-index column reduction over the
+// given columns. Every addition cancels against a column from the same
+// set, so concurrent calls on disjoint column sets never share mutable
+// state. It returns the indices of the surviving (independent) columns;
+// their count is the GF(2) rank of the submatrix they span.
+func reduceColumns(m z2store, js []int) []int {
+	lowOwner := make(map[int]int, len(js))
+	out := make([]int, 0, len(js))
+	for _, j := range js {
+		for {
+			low := m.lowOf(j)
+			if low < 0 {
+				break
+			}
+			owner, ok := lowOwner[low]
+			if !ok {
+				lowOwner[low] = j
+				out = append(out, j)
+				break
+			}
+			m.addInto(j, owner)
+		}
+	}
+	return out
+}
+
+// minParallelColumns is the column count below which sharding a reduction
+// across goroutines costs more than it saves.
+const minParallelColumns = 256
+
+// rankOf computes the GF(2) rank of m, sharding the column reduction
+// across up to `workers` goroutines. Each worker reduces a disjoint
+// contiguous block of columns to a local independent set (column
+// operations are block-internal, so blocks share nothing mutable); the
+// surviving columns of all blocks span the same space as the original
+// matrix, and a final serial pass over the survivors yields the rank.
+// Rank is a basis-independent invariant, so the result is identical for
+// every worker count — the determinism guarantee the engine advertises.
+func rankOf(m z2store, workers int) int {
+	n := m.numCols()
+	if n == 0 {
+		return 0
+	}
+	chunks := workers
+	if max := (n + minParallelColumns - 1) / minParallelColumns; chunks > max {
+		chunks = max
+	}
+	if chunks <= 1 {
+		js := make([]int, n)
+		for i := range js {
+			js[i] = i
+		}
+		return len(reduceColumns(m, js))
+	}
+	survivors := make([][]int, chunks)
+	var wg sync.WaitGroup
+	for ci := 0; ci < chunks; ci++ {
+		lo, hi := ci*n/chunks, (ci+1)*n/chunks
+		wg.Add(1)
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			js := make([]int, hi-lo)
+			for i := range js {
+				js[i] = lo + i
+			}
+			survivors[ci] = reduceColumns(m, js)
+		}(ci, lo, hi)
+	}
+	wg.Wait()
+	merged := make([]int, 0, n)
+	for _, s := range survivors {
+		merged = append(merged, s...)
+	}
+	return len(reduceColumns(m, merged))
+}
+
+// Engine is the parallel, optionally memoized homology engine. The zero
+// value is usable (serial, auto representation, no cache); NewEngine is
+// the usual constructor. The serial package-level functions (BettiZ2 and
+// friends) remain the reference implementation the test suite diffs this
+// engine against.
+//
+// Determinism: Betti numbers are matrix ranks, which do not depend on the
+// order column reductions are interleaved, so an Engine returns identical
+// output for every Workers setting and representation choice.
+type Engine struct {
+	// Workers is the goroutine budget for each rank computation; values
+	// <= 0 select runtime.NumCPU(). Boundary matrices of different
+	// dimensions are additionally reduced concurrently with one another.
+	Workers int
+	// Force overrides the density heuristic choosing the boundary-matrix
+	// representation: "sparse", "bitset", or "" for automatic. It exists
+	// for the differential tests and ablation benchmarks.
+	Force string
+
+	cache *Cache
+}
+
+// NewEngine returns an engine with the given worker budget (<= 0 means
+// runtime.NumCPU()) and memoization cache (nil disables caching).
+func NewEngine(workers int, cache *Cache) *Engine {
+	return &Engine{Workers: workers, cache: cache}
+}
+
+// CacheStats reports the engine's cache counters; all zeros when the
+// engine runs uncached.
+func (e *Engine) CacheStats() (hits, misses uint64, entries int) {
+	if e.cache == nil {
+		return 0, 0, 0
+	}
+	return e.cache.Stats()
+}
+
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// BettiZ2 returns the (non-reduced) GF(2) Betti numbers of c, identical
+// to the package-level BettiZ2 but computed by the parallel engine and
+// memoized when the engine has a cache. The returned slice is owned by
+// the caller.
+func (e *Engine) BettiZ2(c *topology.Complex) []int {
+	if e.cache == nil {
+		return e.computeBetti(c)
+	}
+	key := c.CanonicalHash()
+	if betti, ok := e.cache.lookup(key); ok {
+		return betti
+	}
+	betti := e.computeBetti(c)
+	e.cache.store(key, betti)
+	return betti
+}
+
+// ReducedBettiZ2 mirrors the package-level ReducedBettiZ2 on the engine.
+func (e *Engine) ReducedBettiZ2(c *topology.Complex) []int {
+	betti := e.BettiZ2(c)
+	if len(betti) == 0 {
+		return nil
+	}
+	betti[0]--
+	return betti
+}
+
+// IsKConnected mirrors the package-level IsKConnected on the engine.
+func (e *Engine) IsKConnected(c *topology.Complex, k int) bool {
+	if k < -1 {
+		return true
+	}
+	if c.IsEmpty() {
+		return false
+	}
+	if k == -1 {
+		return true
+	}
+	betti := e.ReducedBettiZ2(c)
+	for d := 0; d <= k && d < len(betti); d++ {
+		if betti[d] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Connectivity mirrors the package-level Connectivity on the engine.
+func (e *Engine) Connectivity(c *topology.Complex) int {
+	if c.IsEmpty() {
+		return -2
+	}
+	betti := e.ReducedBettiZ2(c)
+	k := -1
+	for d := 0; d < len(betti); d++ {
+		if betti[d] != 0 {
+			return k
+		}
+		k = d
+	}
+	return k
+}
+
+// computeBetti builds the chain complex and reduces the boundary matrices
+// of all dimensions concurrently, each sharded across the worker budget.
+func (e *Engine) computeBetti(c *topology.Complex) []int {
+	cc := NewChainComplex(c)
+	if cc.dim < 0 {
+		return nil
+	}
+	w := e.workers()
+	ranks := make([]int, cc.dim+2) // ∂_0 and ∂_{dim+1} are zero
+	var wg sync.WaitGroup
+	for d := 1; d <= cc.dim; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			ranks[d] = e.rank(cc, d, w)
+		}(d)
+	}
+	wg.Wait()
+	betti := make([]int, cc.dim+1)
+	for d := 0; d <= cc.dim; d++ {
+		betti[d] = cc.Count(d) - ranks[d] - ranks[d+1]
+	}
+	return betti
+}
+
+// rank reduces ∂_d with the representation the density heuristic (or the
+// Force override) selects.
+func (e *Engine) rank(cc *ChainComplex, d, workers int) int {
+	if cc.Count(d) == 0 {
+		return 0
+	}
+	rows := cc.Count(d - 1)
+	var m z2store
+	if e.Force == "bitset" || (e.Force == "" && useBitset(rows, d+1)) {
+		m = cc.boundaryBitset(d)
+	} else {
+		m = cc.boundaryZ2(d)
+	}
+	return rankOf(m, workers)
+}

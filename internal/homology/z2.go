@@ -10,6 +10,14 @@
 // k-connected in the full homotopy-theoretic sense (Hurewicz); the test
 // suite verifies simple connectivity on every instance small enough to
 // check, and the homological computations cover the rest.
+//
+// Two GF(2) engines coexist: the serial sparse functions in this file
+// (the reference implementation, kept intentionally simple) and Engine
+// (parallel.go, bitset.go, cache.go), which shards column reduction
+// across goroutines, packs dense boundary matrices into 64-bit words,
+// and memoizes results by topology.Complex.CanonicalHash. The
+// differential tests assert the two produce bit-identical Betti numbers
+// on every instance class the repo generates.
 package homology
 
 import "sort"

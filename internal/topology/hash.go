@@ -1,0 +1,55 @@
+package topology
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FacetEncoding returns a canonical textual encoding of the complex: the
+// keys of its facets in sorted (dimension, key) order, each prefixed by
+// its byte length so that arbitrary label strings cannot collide. Because
+// a complex is determined by its facets, two complexes are Equal if and
+// only if their facet encodings are equal; the encoding is therefore a
+// sound memoization key for any function of the complex.
+func (c *Complex) FacetEncoding() string {
+	var b strings.Builder
+	for _, s := range c.Facets() {
+		key := s.Key()
+		b.WriteString(strconv.Itoa(len(key)))
+		b.WriteByte(':')
+		b.WriteString(key)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// CanonicalHash returns a hex SHA-256 digest canonically identifying the
+// complex. It is the cache key used by the homology package's memoized
+// engine: equal complexes always hash equal, and distinct complexes
+// collide only with cryptographic improbability.
+//
+// The digest is taken over the sorted, length-prefixed simplex-key set
+// rather than FacetEncoding: the two encodings determine each other (a
+// complex is its facets' downward closure), but the simplex keys are
+// already materialized in the complex's index, so hashing them skips the
+// facet computation — CanonicalHash must stay much cheaper than the
+// homology it memoizes.
+func (c *Complex) CanonicalHash() string {
+	keys := make([]string, 0, len(c.simplices))
+	for k := range c.simplices {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		io.WriteString(h, strconv.Itoa(len(k)))
+		io.WriteString(h, ":")
+		io.WriteString(h, k)
+		io.WriteString(h, ";")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

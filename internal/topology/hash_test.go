@@ -1,0 +1,70 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func hv(p int, label string) Vertex { return Vertex{P: p, Label: label} }
+
+func TestCanonicalHashEqualComplexesAgree(t *testing.T) {
+	build := func() *Complex {
+		c := NewComplex()
+		c.Add(MustSimplex(hv(0, "a"), hv(1, "b"), hv(2, "c")))
+		c.Add(MustSimplex(hv(0, "a"), hv(1, "x")))
+		return c
+	}
+	a, b := build(), build()
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("equal complexes hash differently")
+	}
+	// Insertion order must not matter.
+	d := NewComplex()
+	d.Add(MustSimplex(hv(0, "a"), hv(1, "x")))
+	d.Add(MustSimplex(hv(0, "a"), hv(1, "b"), hv(2, "c")))
+	if a.CanonicalHash() != d.CanonicalHash() {
+		t.Fatal("insertion order changed the hash")
+	}
+	if a.CanonicalHash() != a.Clone().CanonicalHash() {
+		t.Fatal("clone hashes differently")
+	}
+}
+
+func TestCanonicalHashDistinguishes(t *testing.T) {
+	tri := ComplexOf(MustSimplex(hv(0, "a"), hv(1, "b"), hv(2, "c")))
+	hollow := NewComplex()
+	for i := 0; i < 3; i++ {
+		hollow.Add(MustSimplex(hv(0, "a"), hv(1, "b"), hv(2, "c")).Face(i))
+	}
+	if tri.CanonicalHash() == hollow.CanonicalHash() {
+		t.Fatal("solid and hollow triangle hash equal")
+	}
+	if tri.CanonicalHash() == tri.Skeleton(1).CanonicalHash() {
+		t.Fatal("skeleton hashes equal to the full complex")
+	}
+	if NewComplex().CanonicalHash() == tri.CanonicalHash() {
+		t.Fatal("empty complex collides with a triangle")
+	}
+}
+
+// TestFacetEncodingLengthPrefixed guards the anti-collision property: a
+// label containing the separator characters cannot make two different
+// complexes encode identically.
+func TestFacetEncodingLengthPrefixed(t *testing.T) {
+	a := ComplexOf(MustSimplex(hv(0, "x;1:y")))
+	b := ComplexOf(MustSimplex(hv(0, "x")), MustSimplex(hv(1, "y")))
+	if a.FacetEncoding() == b.FacetEncoding() {
+		t.Fatal("separator injection collided two encodings")
+	}
+	if !strings.Contains(a.FacetEncoding(), ":") {
+		t.Fatal("encoding missing length prefix")
+	}
+}
+
+func TestFacetEncodingMatchesEqual(t *testing.T) {
+	a := ComplexOf(MustSimplex(hv(0, "a"), hv(1, "b")), MustSimplex(hv(1, "b"), hv(2, "c")))
+	b := a.Union(NewComplex())
+	if !a.Equal(b) || a.FacetEncoding() != b.FacetEncoding() {
+		t.Fatal("Equal complexes must share a facet encoding")
+	}
+}

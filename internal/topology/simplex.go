@@ -14,6 +14,7 @@ package topology
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -128,14 +129,22 @@ func (s Simplex) HasVertex(v Vertex) bool {
 }
 
 // Key returns a canonical string key identifying the simplex. Two simplexes
-// are equal if and only if their keys are equal.
+// are equal if and only if their keys are equal. Key is on the hot path of
+// every chain-complex and hash computation, so it avoids fmt.
 func (s Simplex) Key() string {
+	n := 0
+	for _, v := range s {
+		n += len(v.Label) + 12
+	}
 	var b strings.Builder
+	b.Grow(n)
 	for i, v := range s {
 		if i > 0 {
 			b.WriteByte('|')
 		}
-		fmt.Fprintf(&b, "%d:%s", v.P, v.Label)
+		b.WriteString(strconv.Itoa(v.P))
+		b.WriteByte(':')
+		b.WriteString(v.Label)
 	}
 	return b.String()
 }
