@@ -1,0 +1,171 @@
+// Command benchconstruct times the round-complex constructions and the
+// crash-schedule enumeration that back the repository's benchmark
+// envelope, and optionally records the measurements as JSON (the tracked
+// before/after numbers live in BENCH_construction.json at the repository
+// root).
+//
+// Usage:
+//
+//	benchconstruct [-workers 4] [-deep] [-json out.json]
+//
+// -workers sets the constructor worker pool (0 = NumCPU; 1 = serial).
+// -deep adds the large n=4 asynchronous instances, including the
+// 16^5-facet A^1 n=4 f=4 pseudosphere (1.4M simplexes) that the
+// pre-interning string-keyed builder could not construct in reasonable
+// time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pseudosphere/internal/asyncmodel"
+	"pseudosphere/internal/iis"
+	"pseudosphere/internal/semisync"
+	"pseudosphere/internal/sim"
+	"pseudosphere/internal/syncmodel"
+	"pseudosphere/internal/topology"
+)
+
+type row struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+	Size   int     `json:"size,omitempty"`
+	Facets int     `json:"facets,omitempty"`
+	Count  int     `json:"count,omitempty"`
+}
+
+type report struct {
+	GoOS    string `json:"goos"`
+	GoArch  string `json:"goarch"`
+	NumCPU  int    `json:"numcpu"`
+	Workers int    `json:"workers"`
+	Deep    bool   `json:"deep"`
+	Rows    []row  `json:"rows"`
+}
+
+func labeled(n int) topology.Simplex {
+	vs := make([]topology.Vertex, n+1)
+	for i := range vs {
+		vs[i] = topology.Vertex{P: i, Label: fmt.Sprintf("v%d", i)}
+	}
+	return topology.MustSimplex(vs...)
+}
+
+func main() {
+	workers := flag.Int("workers", 0, "constructor worker goroutines (0 = NumCPU, 1 = serial)")
+	deep := flag.Bool("deep", false, "include the large n=4 asynchronous instances")
+	jsonOut := flag.String("json", "", "write the measurements to this JSON file")
+	flag.Parse()
+	w := *workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+
+	rep := report{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NumCPU: runtime.NumCPU(), Workers: w, Deep: *deep}
+	record := func(name string, f func() (size, facets, count int)) {
+		start := time.Now()
+		size, facets, count := f()
+		elapsed := time.Since(start)
+		rep.Rows = append(rep.Rows, row{
+			Name:   name,
+			Millis: float64(elapsed.Microseconds()) / 1000,
+			Size:   size,
+			Facets: facets,
+			Count:  count,
+		})
+		if count > 0 {
+			fmt.Printf("%-40s %12v  count=%d\n", name, elapsed, count)
+		} else {
+			fmt.Printf("%-40s %12v  size=%d facets=%d\n", name, elapsed, size, facets)
+		}
+	}
+
+	asyncCases := []struct{ n, f, r int }{
+		{3, 3, 1}, {3, 2, 1}, {2, 1, 2}, {2, 2, 2},
+	}
+	if *deep {
+		asyncCases = append(asyncCases,
+			struct{ n, f, r int }{4, 2, 1},
+			struct{ n, f, r int }{4, 3, 1},
+			struct{ n, f, r int }{4, 4, 1})
+	}
+	for _, c := range asyncCases {
+		c := c
+		record(fmt.Sprintf("A^%d n=%d f=%d", c.r, c.n, c.f), func() (int, int, int) {
+			res, err := asyncmodel.RoundsParallel(labeled(c.n), asyncmodel.Params{N: c.n, F: c.f}, c.r, w)
+			if err != nil {
+				panic(err)
+			}
+			return res.Complex.Size(), len(res.Complex.Facets()), 0
+		})
+	}
+	record("S^1 n=3 k=3", func() (int, int, int) {
+		res, err := syncmodel.OneRoundParallel(labeled(3), syncmodel.Params{PerRound: 3, Total: 3}, w)
+		if err != nil {
+			panic(err)
+		}
+		return res.Complex.Size(), len(res.Complex.Facets()), 0
+	})
+	record("S^2 n=3 k=1 f=2", func() (int, int, int) {
+		res, err := syncmodel.RoundsParallel(labeled(3), syncmodel.Params{PerRound: 1, Total: 2}, 2, w)
+		if err != nil {
+			panic(err)
+		}
+		return res.Complex.Size(), len(res.Complex.Facets()), 0
+	})
+	record("S^3 n=3 k=1 f=3", func() (int, int, int) {
+		res, err := syncmodel.RoundsParallel(labeled(3), syncmodel.Params{PerRound: 1, Total: 3}, 3, w)
+		if err != nil {
+			panic(err)
+		}
+		return res.Complex.Size(), len(res.Complex.Facets()), 0
+	})
+	record("M^1 n=2 k=2 c1=1 c2=2 d=2", func() (int, int, int) {
+		res, err := semisync.OneRoundParallel(labeled(2), semisync.Params{C1: 1, C2: 2, D: 2, PerRound: 2, Total: 2}, w)
+		if err != nil {
+			panic(err)
+		}
+		return res.Complex.Size(), len(res.Complex.Facets()), 0
+	})
+	record("M^2 n=2 k=1 f=2", func() (int, int, int) {
+		res, err := semisync.RoundsParallel(labeled(2), semisync.Params{C1: 1, C2: 2, D: 2, PerRound: 1, Total: 2}, 2, w)
+		if err != nil {
+			panic(err)
+		}
+		return res.Complex.Size(), len(res.Complex.Facets()), 0
+	})
+	record("IIS^1 n=3", func() (int, int, int) {
+		res := iis.OneRound(labeled(3))
+		return res.Complex.Size(), len(res.Complex.Facets()), 0
+	})
+	if *deep {
+		record("IIS^1 n=4", func() (int, int, int) {
+			res := iis.OneRound(labeled(4))
+			return res.Complex.Size(), len(res.Complex.Facets()), 0
+		})
+	}
+	record("EnumerateCrashSchedules(4,2,3)", func() (int, int, int) {
+		return 0, 0, len(sim.EnumerateCrashSchedulesParallel(4, 2, 3, w))
+	})
+	record("EnumerateCrashSchedules(3,2,2)", func() (int, int, int) {
+		return 0, 0, len(sim.EnumerateCrashSchedulesParallel(3, 2, 2, w))
+	})
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchconstruct:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchconstruct:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -8,9 +8,11 @@
 //	connectivity -model sync -n 3 -k 1 -r 2
 //	connectivity -model semisync -n 2 -k 1 -r 1 -c1 1 -c2 2 -d 2
 //
-// The homology engine runs parallel (-workers, default NumCPU) and
-// memoized (-cache, default on); Betti output is identical for every
-// worker count.
+// Construction and homology share the -workers pool (default NumCPU): the
+// round complex is built by the parallel constructors and queried by the
+// parallel memoized engine (-cache, default on). Both the complex and the
+// Betti output are identical for every worker count. -cpuprofile and
+// -memprofile write pprof profiles for the run.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"pseudosphere/internal/asyncmodel"
 	"pseudosphere/internal/homology"
@@ -37,6 +40,12 @@ type config struct {
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the exit code back to main so that deferred profile
+// flushes run before the process exits.
+func realMain() int {
 	var cfg config
 	flag.StringVar(&cfg.model, "model", "async", "async, sync, or semisync")
 	flag.IntVar(&cfg.n, "n", 2, "dimension of the full process simplex (n+1 processes)")
@@ -47,13 +56,42 @@ func main() {
 	flag.IntVar(&cfg.c1, "c1", 1, "semisync: min step interval")
 	flag.IntVar(&cfg.c2, "c2", 2, "semisync: max step interval")
 	flag.IntVar(&cfg.d, "d", 2, "semisync: max delivery delay")
-	flag.IntVar(&cfg.workers, "workers", 0, "homology worker goroutines (0 = NumCPU)")
+	flag.IntVar(&cfg.workers, "workers", 0, "construction and homology worker goroutines (0 = NumCPU)")
 	flag.BoolVar(&cfg.cache, "cache", true, "memoize homology by canonical complex hash")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
-	if err := run(os.Stdout, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "connectivity:", err)
-		os.Exit(1)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connectivity:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "connectivity:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
+	err := run(os.Stdout, cfg)
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "connectivity:", merr)
+			return 1
+		}
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fmt.Fprintln(os.Stderr, "connectivity:", werr)
+		}
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "connectivity:", err)
+		return 1
+	}
+	return 0
 }
 
 func run(w io.Writer, cfg config) error {
@@ -71,9 +109,10 @@ func run(w io.Writer, cfg config) error {
 		target      int
 		condition   string
 	)
+	buildWorkers := workerCount(cfg.workers)
 	switch cfg.model {
 	case "async":
-		res, err := asyncmodel.Rounds(input, asyncmodel.Params{N: cfg.n, F: cfg.f}, cfg.r)
+		res, err := asyncmodel.RoundsParallel(input, asyncmodel.Params{N: cfg.n, F: cfg.f}, cfg.r, buildWorkers)
 		if err != nil {
 			return err
 		}
@@ -82,7 +121,7 @@ func run(w io.Writer, cfg config) error {
 		target = cfg.m - (cfg.n - cfg.f) - 1
 		condition = "Lemma 12"
 	case "sync":
-		res, err := syncmodel.Rounds(input, syncmodel.Params{PerRound: cfg.k, Total: cfg.r * cfg.k}, cfg.r)
+		res, err := syncmodel.RoundsParallel(input, syncmodel.Params{PerRound: cfg.k, Total: cfg.r * cfg.k}, cfg.r, buildWorkers)
 		if err != nil {
 			return err
 		}
@@ -92,7 +131,7 @@ func run(w io.Writer, cfg config) error {
 		condition = fmt.Sprintf("Lemma 17 (requires n >= rk+k = %d)", cfg.r*cfg.k+cfg.k)
 	case "semisync":
 		p := semisync.Params{C1: cfg.c1, C2: cfg.c2, D: cfg.d, PerRound: cfg.k, Total: cfg.r * cfg.k}
-		res, err := semisync.Rounds(input, p, cfg.r)
+		res, err := semisync.RoundsParallel(input, p, cfg.r, buildWorkers)
 		if err != nil {
 			return err
 		}

@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	experiments [-id E5] [-markdown] [-workers 4] [-cache=false]
+//	experiments [-id E5] [-markdown] [-workers 4] [-cache=false] [-deep]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Connectivity queries run on the parallel memoized homology engine;
-// -workers sets its goroutine budget (0 = NumCPU) and -cache=false forces
-// every query to recompute.
+// -workers sets its goroutine budget (0 = NumCPU), shared with the
+// parallel round-complex constructors, and -cache=false forces every query
+// to recompute. -deep extends E15 with the large-envelope constructions
+// (minutes of work; off by default so test runs stay fast). -cpuprofile
+// and -memprofile write pprof profiles for the run.
 package main
 
 import (
@@ -16,21 +20,60 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pseudosphere/internal/experiments"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the exit code back to main so that deferred profile
+// flushes run before the process exits.
+func realMain() int {
 	id := flag.String("id", "", "run a single experiment (e.g. E5); default all")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
-	workers := flag.Int("workers", 0, "homology worker goroutines (0 = NumCPU)")
+	workers := flag.Int("workers", 0, "construction and homology worker goroutines (0 = NumCPU)")
 	cache := flag.Bool("cache", true, "memoize homology by canonical complex hash")
+	deep := flag.Bool("deep", false, "include the large-envelope E15 constructions")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
-	experiments.ConfigureEngine(*workers, *cache)
-	if err := run(os.Stdout, *id, *markdown); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
+	experiments.ConfigureEngine(*workers, *cache)
+	experiments.SetDeepScaling(*deep)
+	err := run(os.Stdout, *id, *markdown)
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", merr)
+			return 1
+		}
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", werr)
+		}
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	return 0
 }
 
 func run(w io.Writer, id string, markdown bool) error {

@@ -51,16 +51,17 @@ func OneRound(input topology.Simplex, p Params) (*pc.Result, error) {
 	return res, nil
 }
 
-// appendOneRound adds every one-round facet reachable from the given
-// participant views to res and returns the facets as view lists.
-func appendOneRound(res *pc.Result, cur []*views.View, p Params) [][]*views.View {
+// oneRoundOptions precomputes, for every participant, the next-round view
+// produced by each admissible heard set (itself plus at least n-f others).
+// views.Next and the vertex encoding run once per (participant, heard-set)
+// option; the facet odometer only composes precomputed options. Returns nil
+// when the input has too few participants.
+func oneRoundOptions(cur []*views.View, p Params) [][]pc.Option {
 	m := len(cur) - 1
 	if m < p.N-p.F {
 		return nil
 	}
-	// Each participant independently hears from itself plus a subset of
-	// the other participants of size at least n-f.
-	options := make([][][]*views.View, len(cur)) // per participant: possible heard view-lists
+	opts := make([][]pc.Option, len(cur))
 	for i := range cur {
 		others := make([]*views.View, 0, len(cur)-1)
 		for j, v := range cur {
@@ -68,35 +69,36 @@ func appendOneRound(res *pc.Result, cur []*views.View, p Params) [][]*views.View
 				others = append(others, v)
 			}
 		}
-		for _, sub := range subsetsOfViews(others, p.N-p.F) {
-			heard := append([]*views.View{cur[i]}, sub...)
-			options[i] = append(options[i], heard)
+		subs := subsetsOfViews(others, p.N-p.F)
+		opts[i] = make([]pc.Option, len(subs))
+		for si, sub := range subs {
+			heard := make(map[int]*views.View, len(sub)+1)
+			heard[cur[i].P] = cur[i]
+			for _, h := range sub {
+				heard[h.P] = h
+			}
+			opts[i][si] = pc.NewOption(views.Next(cur[i].P, heard))
 		}
+	}
+	return opts
+}
+
+// appendOneRound adds every one-round facet reachable from the given
+// participant views to res and returns the facets as view lists.
+func appendOneRound(res *pc.Result, cur []*views.View, p Params) [][]*views.View {
+	opts := oneRoundOptions(cur, p)
+	if opts == nil {
+		return nil
 	}
 	var facets [][]*views.View
 	idx := make([]int, len(cur))
+	verts := make([]topology.Vertex, len(cur))
 	for {
 		facet := make([]*views.View, len(cur))
-		for i := range cur {
-			heard := options[i][idx[i]]
-			hm := make(map[int]*views.View, len(heard))
-			for _, h := range heard {
-				hm[h.P] = h
-			}
-			facet[i] = views.Next(cur[i].P, hm)
-		}
-		res.AddFacet(facet)
+		pc.FillFacet(facet, verts, opts, idx)
+		res.AddFacetVertices(verts, facet)
 		facets = append(facets, facet)
-		j := len(idx) - 1
-		for j >= 0 {
-			idx[j]++
-			if idx[j] < len(options[j]) {
-				break
-			}
-			idx[j] = 0
-			j--
-		}
-		if j < 0 {
+		if !pc.Advance(idx, opts) {
 			break
 		}
 	}

@@ -1,0 +1,100 @@
+package asyncmodel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pseudosphere/internal/pc"
+	"pseudosphere/internal/topology"
+	"pseudosphere/internal/views"
+)
+
+// parallelThreshold is the smallest one-round facet count worth sharding;
+// below it goroutine startup and shard merging outweigh the enumeration.
+const parallelThreshold = 256
+
+// OneRoundParallel is OneRound with facet generation sharded over workers.
+func OneRoundParallel(input topology.Simplex, p Params, workers int) (*pc.Result, error) {
+	return RoundsParallel(input, p, 1, workers)
+}
+
+// RoundsParallel is Rounds with the first-round product space split across
+// a worker pool: each worker enumerates a slice of the linear index range,
+// closing faces into a private complex, and the shards are merged at the
+// end. The resulting complex and view map are independent of worker count
+// and scheduling — the complex is a set and every accessor sorts — so
+// CanonicalHash agrees bit for bit with the serial construction.
+func RoundsParallel(input topology.Simplex, p Params, r int, workers int) (*pc.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("asyncmodel: negative round count %d", r)
+	}
+	if workers <= 1 || r == 0 {
+		return Rounds(input, p, r)
+	}
+	res := pc.NewResult()
+	if len(input)-1 < p.N-p.F {
+		return res, nil
+	}
+	cur := pc.InputViews(input)
+	// Building the options here also pre-encodes every option view, so the
+	// workers only ever read the shared views.
+	opts := oneRoundOptions(cur, p)
+	total := pc.ProductSize(opts)
+	if r == 1 && total < parallelThreshold {
+		roundsRec(res, cur, p, r)
+		return res, nil
+	}
+	chunk := int64(128)
+	if r > 1 {
+		// Each first-round facet expands into a whole (r-1)-round subtree;
+		// fine-grained dispatch keeps the workers balanced.
+		chunk = 1
+	}
+	nw := int64(workers)
+	if nw > total {
+		nw = total
+	}
+	locals := make([]*pc.Result, nw)
+	var cursor int64
+	var wg sync.WaitGroup
+	for w := range locals {
+		local := pc.NewResult()
+		locals[w] = local
+		wg.Add(1)
+		go func(local *pc.Result) {
+			defer wg.Done()
+			idx := make([]int, len(cur))
+			verts := make([]topology.Vertex, len(cur))
+			facet := make([]*views.View, len(cur))
+			for {
+				lo := atomic.AddInt64(&cursor, chunk) - chunk
+				if lo >= total {
+					return
+				}
+				hi := lo + chunk
+				if hi > total {
+					hi = total
+				}
+				pc.DecodeIndex(idx, opts, lo)
+				for li := lo; li < hi; li++ {
+					pc.FillFacet(facet, verts, opts, idx)
+					if r == 1 {
+						local.AddFacetVertices(verts, facet)
+					} else {
+						roundsRec(local, facet, p, r-1)
+					}
+					pc.Advance(idx, opts)
+				}
+			}
+		}(local)
+	}
+	wg.Wait()
+	for _, l := range locals {
+		res.Merge(l)
+	}
+	return res, nil
+}

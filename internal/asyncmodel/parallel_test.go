@@ -1,0 +1,81 @@
+package asyncmodel
+
+import (
+	"fmt"
+	"testing"
+
+	"pseudosphere/internal/topology"
+)
+
+func parallelInput(n int) topology.Simplex {
+	verts := make([]topology.Vertex, n+1)
+	for i := range verts {
+		verts[i] = topology.Vertex{P: i, Label: fmt.Sprintf("v%d", i)}
+	}
+	return topology.MustSimplex(verts...)
+}
+
+// The parallel construction must agree bit for bit with the serial one for
+// every worker count, including counts far above the facet count.
+func TestRoundsParallelMatchesSerial(t *testing.T) {
+	cases := []struct {
+		n, f, r int
+	}{
+		{2, 1, 1},
+		{2, 1, 2},
+		{2, 2, 2},
+		{3, 2, 1},
+		{3, 3, 1},
+		{3, 1, 2},
+	}
+	for _, tc := range cases {
+		p := Params{N: tc.n, F: tc.f}
+		want, err := Rounds(parallelInput(tc.n), p, tc.r)
+		if err != nil {
+			t.Fatalf("Rounds(n=%d f=%d r=%d): %v", tc.n, tc.f, tc.r, err)
+		}
+		wantHash := want.Complex.CanonicalHash()
+		for _, workers := range []int{1, 2, 3, 8, 64} {
+			got, err := RoundsParallel(parallelInput(tc.n), p, tc.r, workers)
+			if err != nil {
+				t.Fatalf("RoundsParallel(n=%d f=%d r=%d w=%d): %v", tc.n, tc.f, tc.r, workers, err)
+			}
+			if h := got.Complex.CanonicalHash(); h != wantHash {
+				t.Errorf("n=%d f=%d r=%d workers=%d: hash %s != serial %s", tc.n, tc.f, tc.r, workers, h, wantHash)
+			}
+			if len(got.Views) != len(want.Views) {
+				t.Errorf("n=%d f=%d r=%d workers=%d: %d views != serial %d", tc.n, tc.f, tc.r, workers, len(got.Views), len(want.Views))
+			}
+		}
+	}
+}
+
+func TestOneRoundParallelMatchesOneRound(t *testing.T) {
+	p := Params{N: 3, F: 2}
+	want, err := OneRound(parallelInput(3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OneRoundParallel(parallelInput(3), p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Complex.CanonicalHash() != want.Complex.CanonicalHash() {
+		t.Error("OneRoundParallel disagrees with OneRound")
+	}
+}
+
+func TestRoundsParallelDegenerate(t *testing.T) {
+	// Too few participants: empty complex at any worker count.
+	p := Params{N: 4, F: 1}
+	got, err := RoundsParallel(parallelInput(2), p, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Complex.Size() != 0 {
+		t.Errorf("expected empty complex, got size %d", got.Complex.Size())
+	}
+	if _, err := RoundsParallel(parallelInput(2), p, -1, 4); err == nil {
+		t.Error("expected error for negative round count")
+	}
+}

@@ -1,6 +1,10 @@
 package experiments
 
-import "pseudosphere/internal/homology"
+import (
+	"runtime"
+
+	"pseudosphere/internal/homology"
+)
 
 // conn is the homology engine every experiment's connectivity and Betti
 // query routes through. The experiments repeatedly interrogate unions,
@@ -9,10 +13,16 @@ import "pseudosphere/internal/homology"
 // the worker budget follows runtime.NumCPU().
 var conn = homology.NewEngine(0, homology.NewCache())
 
+// buildWorkers is the worker budget for the parallel round-complex
+// constructors; 0 selects runtime.NumCPU(). It shares the -workers knob
+// with the homology engine.
+var buildWorkers = 0
+
 // ConfigureEngine replaces the shared engine: workers <= 0 selects
 // runtime.NumCPU(), and cached=false disables memoization so every query
 // recomputes (the configuration the differential benchmarks compare
-// against). Call it before running experiments; it is not synchronized
+// against). The same worker budget drives the parallel round-complex
+// constructors. Call it before running experiments; it is not synchronized
 // with concurrent experiment runs.
 func ConfigureEngine(workers int, cached bool) {
 	var cache *homology.Cache
@@ -20,7 +30,24 @@ func ConfigureEngine(workers int, cached bool) {
 		cache = homology.NewCache()
 	}
 	conn = homology.NewEngine(workers, cache)
+	buildWorkers = workers
 }
+
+// BuildWorkers resolves the configured construction worker budget.
+func BuildWorkers() int {
+	if buildWorkers > 0 {
+		return buildWorkers
+	}
+	return runtime.NumCPU()
+}
+
+// deepScaling gates the large-envelope E15 rows (millions of simplexes,
+// minutes of construction). Off by default so RunAll stays fast enough for
+// the test suite; the experiments CLI enables it with -deep.
+var deepScaling = false
+
+// SetDeepScaling toggles the large-envelope E15 constructions.
+func SetDeepScaling(on bool) { deepScaling = on }
 
 // EngineStats reports the shared engine's cache counters; all zeros when
 // the engine runs uncached.

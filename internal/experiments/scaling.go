@@ -29,11 +29,19 @@ func E15Scaling() (*Table, error) {
 		"Lemmas 11, 14, 19 facet combinatorics; [BG97] Fubini counts",
 		"construction", "parameters", "closed form", "measured")
 
-	// Asynchronous sweep.
-	for _, p := range []asyncmodel.Params{
+	// Asynchronous sweep. The interned core and the sharded constructor
+	// push the feasible envelope to n=4: the f=4 instance (a 16^5-facet
+	// pseudosphere, 1.4M simplexes) was out of reach for the string-keyed
+	// recursive builder and sits behind the -deep flag.
+	params := []asyncmodel.Params{
 		{N: 2, F: 1}, {N: 2, F: 2}, {N: 3, F: 1}, {N: 3, F: 2}, {N: 3, F: 3},
-	} {
-		res, err := asyncmodel.OneRound(labeledInput(p.N), p)
+		{N: 4, F: 2},
+	}
+	if deepScaling {
+		params = append(params, asyncmodel.Params{N: 4, F: 3}, asyncmodel.Params{N: 4, F: 4})
+	}
+	for _, p := range params {
+		res, err := asyncmodel.OneRoundParallel(labeledInput(p.N), p, BuildWorkers())
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +95,7 @@ func E15Scaling() (*Table, error) {
 	}
 
 	// IIS Fubini counts.
-	for n := 1; n <= 3; n++ {
+	for n := 1; n <= 4; n++ {
 		res := iis.OneRound(labeledInput(n))
 		want := iis.FubiniNumber(n + 1)
 		got := len(res.Complex.Facets())

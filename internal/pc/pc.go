@@ -30,6 +30,16 @@ func (r *Result) AddFacet(vs []*views.View) topology.Simplex {
 	verts := make([]topology.Vertex, len(vs))
 	for i, v := range vs {
 		verts[i] = topology.Vertex{P: v.P, Label: v.Encode()}
+	}
+	return r.AddFacetVertices(verts, vs)
+}
+
+// AddFacetVertices is AddFacet with the vertex encodings already built:
+// verts[i] must be the vertex of vs[i]. The model constructors precompute
+// one vertex per (participant, heard-set) option, so facet insertion skips
+// re-encoding views facet by facet.
+func (r *Result) AddFacetVertices(verts []topology.Vertex, vs []*views.View) topology.Simplex {
+	for i, v := range vs {
 		r.Views[verts[i]] = v
 	}
 	s := topology.MustSimplex(verts...)

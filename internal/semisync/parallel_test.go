@@ -1,0 +1,61 @@
+package semisync
+
+import (
+	"fmt"
+	"testing"
+
+	"pseudosphere/internal/topology"
+)
+
+func parallelInput(n int) topology.Simplex {
+	verts := make([]topology.Vertex, n+1)
+	for i := range verts {
+		verts[i] = topology.Vertex{P: i, Label: fmt.Sprintf("v%d", i)}
+	}
+	return topology.MustSimplex(verts...)
+}
+
+// The parallel construction must agree bit for bit with the serial one for
+// every worker count.
+func TestRoundsParallelMatchesSerial(t *testing.T) {
+	cases := []struct {
+		n, r int
+		p    Params
+	}{
+		{2, 1, Params{C1: 1, C2: 2, D: 2, PerRound: 1, Total: 2}},
+		{2, 2, Params{C1: 1, C2: 2, D: 2, PerRound: 1, Total: 2}},
+		{2, 1, Params{C1: 1, C2: 3, D: 3, PerRound: 2, Total: 2}},
+		{3, 1, Params{C1: 1, C2: 2, D: 2, PerRound: 1, Total: 3}},
+	}
+	for _, tc := range cases {
+		want, err := Rounds(parallelInput(tc.n), tc.p, tc.r)
+		if err != nil {
+			t.Fatalf("Rounds(n=%d r=%d %+v): %v", tc.n, tc.r, tc.p, err)
+		}
+		wantHash := want.Complex.CanonicalHash()
+		for _, workers := range []int{1, 2, 3, 8, 64} {
+			got, err := RoundsParallel(parallelInput(tc.n), tc.p, tc.r, workers)
+			if err != nil {
+				t.Fatalf("RoundsParallel(n=%d r=%d w=%d): %v", tc.n, tc.r, workers, err)
+			}
+			if h := got.Complex.CanonicalHash(); h != wantHash {
+				t.Errorf("n=%d r=%d workers=%d: hash mismatch with serial", tc.n, tc.r, workers)
+			}
+		}
+	}
+}
+
+func TestOneRoundParallelMatchesOneRound(t *testing.T) {
+	p := Params{C1: 1, C2: 2, D: 2, PerRound: 1, Total: 2}
+	want, err := OneRound(parallelInput(2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OneRoundParallel(parallelInput(2), p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Complex.CanonicalHash() != want.Complex.CanonicalHash() {
+		t.Error("OneRoundParallel disagrees with OneRound")
+	}
+}

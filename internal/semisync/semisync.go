@@ -152,9 +152,13 @@ func OneRoundPattern(input topology.Simplex, fail []int, f FailurePattern, p Par
 	return res, nil
 }
 
-// appendOneRoundPattern enumerates the one-round executions with failure
-// set fail and pattern f, adding facets to res and returning them.
-func appendOneRoundPattern(res *pc.Result, cur []*views.View, fail []int, f FailurePattern, p Params, force int) ([][]*views.View, error) {
+// oneRoundPatternOptions precomputes each survivor's admissible next views
+// for failure set fail under pattern f: for each failing process j the
+// survivor last sees j at microround f[j]-1 or f[j] (exactly f[j] when
+// j == force). views.Next, the Meta annotation, and the vertex encoding run
+// once per (survivor, choice) option. Returns nil options when no process
+// survives.
+func oneRoundPatternOptions(cur []*views.View, fail []int, f FailurePattern, p Params, force int) ([][]pc.Option, error) {
 	micro := p.Micro()
 	failSet := make(map[int]bool, len(fail))
 	byID := make(map[int]*views.View, len(cur))
@@ -179,7 +183,7 @@ func appendOneRoundPattern(res *pc.Result, cur []*views.View, fail []int, f Fail
 	if len(survivors) == 0 {
 		return nil, nil
 	}
-	// Per-survivor options: for each failing process j, mu_j in
+	// Per-survivor choices: for each failing process j, mu_j in
 	// {f[j]-1, f[j]} (or exactly f[j] when j == force).
 	sortedFail := append([]int(nil), fail...)
 	sort.Ints(sortedFail)
@@ -193,12 +197,10 @@ func appendOneRoundPattern(res *pc.Result, cur []*views.View, fail []int, f Fail
 	}
 	choices := cartesianInts(perFail)
 
-	idx := make([]int, len(survivors))
-	var facets [][]*views.View
-	for {
-		facet := make([]*views.View, len(survivors))
-		for i, sv := range survivors {
-			mu := choices[idx[i]]
+	opts := make([][]pc.Option, len(survivors))
+	for i, sv := range survivors {
+		opts[i] = make([]pc.Option, len(choices))
+		for ci, mu := range choices {
 			heard := make(map[int]*views.View, len(cur))
 			meta := make(map[int]string, len(cur))
 			for _, w := range survivors {
@@ -213,20 +215,28 @@ func appendOneRoundPattern(res *pc.Result, cur []*views.View, fail []int, f Fail
 			}
 			next := views.Next(sv.P, heard)
 			next.Meta = meta
-			facet[i] = next
+			opts[i][ci] = pc.NewOption(next)
 		}
-		res.AddFacet(facet)
+	}
+	return opts, nil
+}
+
+// appendOneRoundPattern enumerates the one-round executions with failure
+// set fail and pattern f, adding facets to res and returning them.
+func appendOneRoundPattern(res *pc.Result, cur []*views.View, fail []int, f FailurePattern, p Params, force int) ([][]*views.View, error) {
+	opts, err := oneRoundPatternOptions(cur, fail, f, p, force)
+	if err != nil || opts == nil {
+		return nil, err
+	}
+	var facets [][]*views.View
+	idx := make([]int, len(opts))
+	verts := make([]topology.Vertex, len(opts))
+	for {
+		facet := make([]*views.View, len(opts))
+		pc.FillFacet(facet, verts, opts, idx)
+		res.AddFacetVertices(verts, facet)
 		facets = append(facets, facet)
-		j := len(idx) - 1
-		for j >= 0 {
-			idx[j]++
-			if idx[j] < len(choices) {
-				break
-			}
-			idx[j] = 0
-			j--
-		}
-		if j < 0 {
+		if !pc.Advance(idx, opts) {
 			break
 		}
 	}

@@ -1,14 +1,59 @@
 package sim
 
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
 // EnumerateCrashSchedules generates every crash schedule with at most f
 // crashes among n1 processes within maxRound rounds, including every
 // choice of partial final broadcast. The count grows quickly; intended for
 // exhaustive adversarial testing at small scale.
+//
+// The enumeration visits each crash set exactly once (subsets grouped by
+// their smallest member), so schedules are unique by construction; a
+// canonical-key set guards that invariant during collection instead of the
+// former full-list dedup pass.
 func EnumerateCrashSchedules(n1, f, maxRound int) []CrashSchedule {
-	procs := make([]int, n1)
-	for i := range procs {
-		procs[i] = i
+	var branches [][]CrashSchedule
+	if f > 0 {
+		branches = make([][]CrashSchedule, n1)
+		for b := 0; b < n1; b++ {
+			branches[b] = branchSchedules(b, n1, f, maxRound)
+		}
 	}
+	return mergeSchedules(branches)
+}
+
+// EnumerateCrashSchedulesParallel is EnumerateCrashSchedules with the
+// top-level branches (one per smallest crashing process) enumerated by a
+// pool of workers. Branches are merged in branch order, so the output is
+// identical to the serial enumeration for every worker count.
+func EnumerateCrashSchedulesParallel(n1, f, maxRound, workers int) []CrashSchedule {
+	if workers <= 1 || f <= 0 || n1 <= 1 {
+		return EnumerateCrashSchedules(n1, f, maxRound)
+	}
+	branches := make([][]CrashSchedule, n1)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for b := 0; b < n1; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			branches[b] = branchSchedules(b, n1, f, maxRound)
+		}(b)
+	}
+	wg.Wait()
+	return mergeSchedules(branches)
+}
+
+// branchSchedules enumerates, depth-first, every schedule whose smallest
+// crashing process is b.
+func branchSchedules(b, n1, f, maxRound int) []CrashSchedule {
 	var out []CrashSchedule
 	var choose func(start int, chosen []int)
 	choose = func(start int, chosen []int) {
@@ -17,11 +62,43 @@ func EnumerateCrashSchedules(n1, f, maxRound int) []CrashSchedule {
 			return
 		}
 		for i := start; i < n1; i++ {
-			choose(i+1, append(chosen, i))
+			// Copy before recursing: append(chosen, i) could hand sibling
+			// branches aliased backing arrays, and the parallel enumerator
+			// walks sibling subtrees concurrently.
+			next := make([]int, len(chosen)+1)
+			copy(next, chosen)
+			next[len(chosen)] = i
+			choose(i+1, next)
 		}
 	}
-	choose(0, nil)
-	return dedupSchedules(out)
+	choose(b+1, []int{b})
+	return out
+}
+
+// mergeSchedules emits the crash-free schedule followed by the per-branch
+// lists in branch order, keeping the first occurrence of each canonical
+// key.
+func mergeSchedules(branches [][]CrashSchedule) []CrashSchedule {
+	total := 1
+	for _, b := range branches {
+		total += len(b)
+	}
+	out := make([]CrashSchedule, 0, total)
+	seen := make(map[string]bool, total)
+	emit := func(cs CrashSchedule) {
+		k := scheduleKey(cs)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, cs)
+		}
+	}
+	emit(CrashSchedule{})
+	for _, b := range branches {
+		for _, cs := range b {
+			emit(cs)
+		}
+	}
+	return out
 }
 
 // expandCrashes enumerates round and partial-broadcast choices for a fixed
@@ -60,36 +137,35 @@ func expandCrashes(crashing []int, n1, maxRound int) []CrashSchedule {
 	return out
 }
 
-// dedupSchedules removes duplicates produced by the subset recursion
-// (shorter prefixes are re-emitted along the way).
-func dedupSchedules(in []CrashSchedule) []CrashSchedule {
-	seen := make(map[string]bool, len(in))
-	var out []CrashSchedule
-	for _, cs := range in {
-		k := scheduleKey(cs)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, cs)
-		}
-	}
-	return out
-}
-
+// scheduleKey canonically encodes a schedule: crashing processes in
+// ascending order, each with its round and sorted delivery set.
 func scheduleKey(cs CrashSchedule) string {
-	// Deterministic encoding: processes in order.
-	key := ""
-	for p := 0; p < 64; p++ {
-		c, ok := cs[p]
-		if !ok {
-			continue
-		}
-		key += string(rune('A'+p)) + string(rune('0'+c.Round)) + ":"
-		for q := 0; q < 64; q++ {
-			if c.DeliveredTo[q] {
-				key += string(rune('a' + q))
+	ps := make([]int, 0, len(cs))
+	for p := range cs {
+		ps = append(ps, p)
+	}
+	sort.Ints(ps)
+	var b strings.Builder
+	for _, p := range ps {
+		c := cs[p]
+		b.WriteString(strconv.Itoa(p))
+		b.WriteByte('@')
+		b.WriteString(strconv.Itoa(c.Round))
+		b.WriteByte(':')
+		qs := make([]int, 0, len(c.DeliveredTo))
+		for q, ok := range c.DeliveredTo {
+			if ok {
+				qs = append(qs, q)
 			}
 		}
-		key += ";"
+		sort.Ints(qs)
+		for i, q := range qs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(q))
+		}
+		b.WriteByte(';')
 	}
-	return key
+	return b.String()
 }

@@ -1,0 +1,62 @@
+package syncmodel
+
+import (
+	"fmt"
+	"testing"
+
+	"pseudosphere/internal/topology"
+)
+
+func parallelInput(n int) topology.Simplex {
+	verts := make([]topology.Vertex, n+1)
+	for i := range verts {
+		verts[i] = topology.Vertex{P: i, Label: fmt.Sprintf("v%d", i)}
+	}
+	return topology.MustSimplex(verts...)
+}
+
+// The parallel construction must agree bit for bit with the serial one for
+// every worker count.
+func TestRoundsParallelMatchesSerial(t *testing.T) {
+	cases := []struct {
+		n, k, f, r int
+	}{
+		{2, 1, 1, 1},
+		{2, 1, 2, 2},
+		{3, 1, 3, 2},
+		{3, 2, 2, 1},
+		{3, 3, 3, 1},
+	}
+	for _, tc := range cases {
+		p := Params{PerRound: tc.k, Total: tc.f}
+		want, err := Rounds(parallelInput(tc.n), p, tc.r)
+		if err != nil {
+			t.Fatalf("Rounds(n=%d k=%d f=%d r=%d): %v", tc.n, tc.k, tc.f, tc.r, err)
+		}
+		wantHash := want.Complex.CanonicalHash()
+		for _, workers := range []int{1, 2, 3, 8, 64} {
+			got, err := RoundsParallel(parallelInput(tc.n), p, tc.r, workers)
+			if err != nil {
+				t.Fatalf("RoundsParallel(n=%d k=%d f=%d r=%d w=%d): %v", tc.n, tc.k, tc.f, tc.r, workers, err)
+			}
+			if h := got.Complex.CanonicalHash(); h != wantHash {
+				t.Errorf("n=%d k=%d f=%d r=%d workers=%d: hash mismatch with serial", tc.n, tc.k, tc.f, tc.r, workers)
+			}
+		}
+	}
+}
+
+func TestOneRoundParallelMatchesOneRound(t *testing.T) {
+	p := Params{PerRound: 1, Total: 3}
+	want, err := OneRound(parallelInput(3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OneRoundParallel(parallelInput(3), p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Complex.CanonicalHash() != want.Complex.CanonicalHash() {
+		t.Error("OneRoundParallel disagrees with OneRound")
+	}
+}

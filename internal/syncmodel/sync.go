@@ -68,11 +68,12 @@ func OneRoundFullyHeard(input topology.Simplex, fail []int, heardByAll int) (*pc
 	return res, nil
 }
 
-// appendOneRoundExactly enumerates the one-round executions from cur in
-// which exactly fail crashes; forced >= 0 additionally requires that every
-// survivor hears from the failing process forced. Returns the facets as
-// survivor view lists.
-func appendOneRoundExactly(res *pc.Result, cur []*views.View, fail []int, forced int) ([][]*views.View, error) {
+// oneRoundExactlyOptions precomputes each survivor's admissible next views
+// for the failure set fail: every survivor hears all survivors (plus
+// forced, if set) and independently one subset of the remaining failing
+// processes. views.Next and the vertex encoding run once per (survivor,
+// subset) option. Returns nil options when no process survives.
+func oneRoundExactlyOptions(cur []*views.View, fail []int, forced int) ([][]pc.Option, error) {
 	failSet := make(map[int]bool, len(fail))
 	byID := make(map[int]*views.View, len(cur))
 	for _, v := range cur {
@@ -105,11 +106,10 @@ func appendOneRoundExactly(res *pc.Result, cur []*views.View, fail []int, forced
 	sort.Ints(optional)
 
 	subsets := intSubsets(optional)
-	idx := make([]int, len(survivors))
-	var facets [][]*views.View
-	for {
-		facet := make([]*views.View, len(survivors))
-		for i, sv := range survivors {
+	opts := make([][]pc.Option, len(survivors))
+	for i, sv := range survivors {
+		opts[i] = make([]pc.Option, len(subsets))
+		for si, sub := range subsets {
 			heard := make(map[int]*views.View, len(survivors)+len(fail))
 			for _, w := range survivors {
 				heard[w.P] = w
@@ -117,23 +117,33 @@ func appendOneRoundExactly(res *pc.Result, cur []*views.View, fail []int, forced
 			if forced >= 0 {
 				heard[forced] = byID[forced]
 			}
-			for _, q := range subsets[idx[i]] {
+			for _, q := range sub {
 				heard[q] = byID[q]
 			}
-			facet[i] = views.Next(sv.P, heard)
+			opts[i][si] = pc.NewOption(views.Next(sv.P, heard))
 		}
-		res.AddFacet(facet)
+	}
+	return opts, nil
+}
+
+// appendOneRoundExactly enumerates the one-round executions from cur in
+// which exactly fail crashes; forced >= 0 additionally requires that every
+// survivor hears from the failing process forced. Returns the facets as
+// survivor view lists.
+func appendOneRoundExactly(res *pc.Result, cur []*views.View, fail []int, forced int) ([][]*views.View, error) {
+	opts, err := oneRoundExactlyOptions(cur, fail, forced)
+	if err != nil || opts == nil {
+		return nil, err
+	}
+	var facets [][]*views.View
+	idx := make([]int, len(opts))
+	verts := make([]topology.Vertex, len(opts))
+	for {
+		facet := make([]*views.View, len(opts))
+		pc.FillFacet(facet, verts, opts, idx)
+		res.AddFacetVertices(verts, facet)
 		facets = append(facets, facet)
-		j := len(idx) - 1
-		for j >= 0 {
-			idx[j]++
-			if idx[j] < len(subsets) {
-				break
-			}
-			idx[j] = 0
-			j--
-		}
-		if j < 0 {
+		if !pc.Advance(idx, opts) {
 			break
 		}
 	}

@@ -1,0 +1,126 @@
+package task
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// FindDecisionParallel is FindDecision with the k >= 2 backtracking search
+// split across workers: the first decision variable's domain values become
+// independent branches, each explored by its own goroutine with private
+// assignment state over the shared read-only search setup.
+//
+// The branches share one atomic node budget (nodeLimit <= 0 means
+// unlimited). When a branch succeeds, only higher-indexed branches are
+// cancelled; lower-indexed branches run to completion and the
+// lowest-indexed success supplies the returned map, so the decision map is
+// independent of scheduling. With a node limit, a success found by any
+// surviving branch wins even if another branch exhausted the budget — the
+// map is still a valid certificate — and ErrSearchLimit is reported only
+// when no branch succeeds.
+func FindDecisionParallel(a *Annotated, k int, nodeLimit int64, workers int) (DecisionMap, bool, error) {
+	if err := a.Validate(); err != nil {
+		return nil, false, err
+	}
+	if a.Complex.IsEmpty() {
+		return DecisionMap{}, true, nil
+	}
+	if k <= 0 {
+		return nil, false, fmt.Errorf("task: k must be positive, got %d", k)
+	}
+	if k == 1 {
+		dm, ok := findConsensus(a)
+		return dm, ok, nil
+	}
+	if workers <= 1 {
+		return findBacktracking(a, k, nodeLimit)
+	}
+	return findBacktrackingParallel(a, k, nodeLimit, workers)
+}
+
+// branchOutcome records one first-variable branch's result.
+type branchOutcome struct {
+	dm  DecisionMap
+	ok  bool
+	err error
+}
+
+func findBacktrackingParallel(a *Annotated, k int, nodeLimit int64, workers int) (DecisionMap, bool, error) {
+	s := newSearch(a, k)
+	if len(s.order) == 0 {
+		return DecisionMap{}, true, nil
+	}
+	v0 := s.order[0]
+	dom := s.domains[v0]
+	if len(dom) < 2 {
+		return findBacktracking(a, k, nodeLimit)
+	}
+	var remaining *int64
+	if nodeLimit > 0 {
+		r := nodeLimit
+		remaining = &r
+	}
+	// best holds the lowest branch index that has succeeded so far; branches
+	// above it abort at their next node.
+	best := int64(len(dom))
+	outcomes := make([]branchOutcome, len(dom))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for bi, val := range dom {
+		wg.Add(1)
+		go func(bi int, val string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if atomic.LoadInt64(&best) < int64(bi) {
+				outcomes[bi] = branchOutcome{err: errAborted}
+				return
+			}
+			b := &branchRun{
+				s:        s,
+				assign:   make([]string, len(s.verts)),
+				assigned: make([]bool, len(s.verts)),
+				budget:   remaining,
+				abort:    func() bool { return atomic.LoadInt64(&best) < int64(bi) },
+			}
+			// The root assignment consumes one node, as in the serial loop.
+			if b.budget != nil && atomic.AddInt64(b.budget, -1) < 0 {
+				outcomes[bi] = branchOutcome{err: ErrSearchLimit}
+				return
+			}
+			b.assign[v0] = val
+			b.assigned[v0] = true
+			if !consistent(v0, s.facetOf, s.facetVerts, b.assign, b.assigned, s.domains, s.k) {
+				return
+			}
+			ok, err := b.rec(1)
+			if ok {
+				// Lower the bar to this branch if no lower branch has won yet.
+				for {
+					cur := atomic.LoadInt64(&best)
+					if cur < int64(bi) || atomic.CompareAndSwapInt64(&best, cur, int64(bi)) {
+						break
+					}
+				}
+				outcomes[bi] = branchOutcome{dm: b.decisionMap(), ok: true}
+				return
+			}
+			outcomes[bi] = branchOutcome{err: err}
+		}(bi, val)
+	}
+	wg.Wait()
+	limited := false
+	for _, o := range outcomes {
+		if o.ok {
+			return o.dm, true, nil
+		}
+		if o.err == ErrSearchLimit {
+			limited = true
+		}
+	}
+	if limited {
+		return nil, false, ErrSearchLimit
+	}
+	return nil, false, nil
+}

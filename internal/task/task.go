@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"pseudosphere/internal/topology"
 )
@@ -161,17 +162,27 @@ func findConsensus(a *Annotated) (DecisionMap, bool) {
 	return dm, true
 }
 
-// findBacktracking is an exact backtracking search with forward checking:
-// when a facet reaches k distinct assigned values, the domains of its
-// unassigned vertices shrink to those values.
-func findBacktracking(a *Annotated, k int, nodeLimit int64) (DecisionMap, bool, error) {
+// search is the immutable setup of the backtracking search: the vertex and
+// facet index structures, per-vertex domains, and the variable order. It is
+// built once and shared read-only by every search branch (including
+// concurrent branches of the parallel search).
+type search struct {
+	verts      []topology.Vertex
+	facetOf    [][]int // vertex -> facet indices
+	facetVerts [][]int // facet -> vertex indices
+	domains    [][]string
+	order      []int
+	k          int
+}
+
+func newSearch(a *Annotated, k int) *search {
 	verts := a.Complex.Vertices()
 	vIdx := make(map[topology.Vertex]int, len(verts))
 	for i, v := range verts {
 		vIdx[v] = i
 	}
 	facets := a.Complex.Facets()
-	facetOf := make([][]int, len(verts)) // vertex -> facet indices
+	facetOf := make([][]int, len(verts))
 	facetVerts := make([][]int, len(facets))
 	for fi, f := range facets {
 		fv := make([]int, len(f))
@@ -186,46 +197,87 @@ func findBacktracking(a *Annotated, k int, nodeLimit int64) (DecisionMap, bool, 
 		domains[i] = append([]string(nil), a.Allowed[v]...)
 		sort.Strings(domains[i])
 	}
-	order := searchOrder(facetVerts, len(verts))
-	assign := make([]string, len(verts))
-	assigned := make([]bool, len(verts))
-	var nodes int64
-
-	var rec func(pos int) (bool, error)
-	rec = func(pos int) (bool, error) {
-		if pos == len(order) {
-			return true, nil
-		}
-		vi := order[pos]
-		for _, val := range domains[vi] {
-			nodes++
-			if nodeLimit > 0 && nodes > nodeLimit {
-				return false, ErrSearchLimit
-			}
-			assign[vi] = val
-			assigned[vi] = true
-			if consistent(vi, facetOf, facetVerts, assign, assigned, domains, k) {
-				ok, err := rec(pos + 1)
-				if ok || err != nil {
-					return ok, err
-				}
-			}
-			assigned[vi] = false
-		}
-		return false, nil
+	return &search{
+		verts:      verts,
+		facetOf:    facetOf,
+		facetVerts: facetVerts,
+		domains:    domains,
+		order:      searchOrder(facetVerts, len(verts)),
+		k:          k,
 	}
-	ok, err := rec(0)
+}
+
+// errAborted signals a branch cut off because a lower-indexed branch
+// already succeeded; its outcome is irrelevant and never surfaces.
+var errAborted = errors.New("task: search branch aborted")
+
+// branchRun is one search branch's mutable state: its own assignment
+// vectors, a share of the (possibly global) node budget, and an optional
+// abort probe checked at every node.
+type branchRun struct {
+	s        *search
+	assign   []string
+	assigned []bool
+	budget   *int64 // remaining shared node budget; nil = unlimited
+	abort    func() bool
+}
+
+func (b *branchRun) rec(pos int) (bool, error) {
+	if pos == len(b.s.order) {
+		return true, nil
+	}
+	vi := b.s.order[pos]
+	for _, val := range b.s.domains[vi] {
+		if b.budget != nil && atomic.AddInt64(b.budget, -1) < 0 {
+			return false, ErrSearchLimit
+		}
+		if b.abort != nil && b.abort() {
+			return false, errAborted
+		}
+		b.assign[vi] = val
+		b.assigned[vi] = true
+		if consistent(vi, b.s.facetOf, b.s.facetVerts, b.assign, b.assigned, b.s.domains, b.s.k) {
+			ok, err := b.rec(pos + 1)
+			if ok || err != nil {
+				return ok, err
+			}
+		}
+		b.assigned[vi] = false
+	}
+	return false, nil
+}
+
+// decisionMap materializes the branch's assignment.
+func (b *branchRun) decisionMap() DecisionMap {
+	dm := make(DecisionMap, len(b.s.verts))
+	for i, v := range b.s.verts {
+		dm[v] = b.assign[i]
+	}
+	return dm
+}
+
+// findBacktracking is an exact backtracking search with forward checking:
+// when a facet reaches k distinct assigned values, the domains of its
+// unassigned vertices shrink to those values.
+func findBacktracking(a *Annotated, k int, nodeLimit int64) (DecisionMap, bool, error) {
+	s := newSearch(a, k)
+	b := &branchRun{
+		s:        s,
+		assign:   make([]string, len(s.verts)),
+		assigned: make([]bool, len(s.verts)),
+	}
+	if nodeLimit > 0 {
+		remaining := nodeLimit
+		b.budget = &remaining
+	}
+	ok, err := b.rec(0)
 	if err != nil {
 		return nil, false, err
 	}
 	if !ok {
 		return nil, false, nil
 	}
-	dm := make(DecisionMap, len(verts))
-	for i, v := range verts {
-		dm[v] = assign[i]
-	}
-	return dm, true, nil
+	return b.decisionMap(), true, nil
 }
 
 // consistent checks that every facet touching vertex vi can still be

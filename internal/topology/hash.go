@@ -9,6 +9,27 @@ import (
 	"strings"
 )
 
+// keyOf renders the canonical string key of the entry id sequence, byte
+// for byte what Simplex.Key produces on the materialized simplex.
+func (c *Complex) keyOf(ids []int32) string {
+	n := 0
+	for _, id := range ids {
+		n += len(c.byID[id].Label) + 12
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		v := c.byID[id]
+		b.WriteString(strconv.Itoa(v.P))
+		b.WriteByte(':')
+		b.WriteString(v.Label)
+	}
+	return b.String()
+}
+
 // FacetEncoding returns a canonical textual encoding of the complex: the
 // keys of its facets in sorted (dimension, key) order, each prefixed by
 // its byte length so that arbitrary label strings cannot collide. Because
@@ -32,16 +53,15 @@ func (c *Complex) FacetEncoding() string {
 // engine: equal complexes always hash equal, and distinct complexes
 // collide only with cryptographic improbability.
 //
-// The digest is taken over the sorted, length-prefixed simplex-key set
-// rather than FacetEncoding: the two encodings determine each other (a
-// complex is its facets' downward closure), but the simplex keys are
-// already materialized in the complex's index, so hashing them skips the
-// facet computation — CanonicalHash must stay much cheaper than the
-// homology it memoizes.
+// The digest is taken over the sorted, length-prefixed simplex-key set.
+// The keys are rendered from the interned entries on demand, but the
+// encoding (and therefore the digest) is unchanged from the string-keyed
+// representation this core replaced — ReferenceComplex.CanonicalHash is
+// differentially tested to agree.
 func (c *Complex) CanonicalHash() string {
-	keys := make([]string, 0, len(c.simplices))
-	for k := range c.simplices {
-		keys = append(keys, k)
+	keys := make([]string, len(c.entries))
+	for ei := range c.entries {
+		keys[ei] = c.keyOf(c.entries[ei].ids)
 	}
 	sort.Strings(keys)
 	h := sha256.New()

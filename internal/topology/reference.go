@@ -1,0 +1,114 @@
+package topology
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// ReferenceComplex is the original string-keyed complex builder, retained
+// verbatim as the differential-testing oracle for the interned Complex
+// core: it stores simplexes in a map keyed by Simplex.Key and closes faces
+// by recursion. It is deliberately simple and slow; nothing outside tests
+// should construct one.
+type ReferenceComplex struct {
+	simplices map[string]Simplex
+	dim       int
+}
+
+// NewReferenceComplex returns an empty reference complex.
+func NewReferenceComplex() *ReferenceComplex {
+	return &ReferenceComplex{simplices: make(map[string]Simplex), dim: -1}
+}
+
+// Add inserts s and all of its nonempty faces, exactly as the pre-interned
+// Complex.Add did.
+func (c *ReferenceComplex) Add(s Simplex) {
+	if len(s) == 0 {
+		return
+	}
+	key := s.Key()
+	if _, ok := c.simplices[key]; ok {
+		return
+	}
+	c.simplices[key] = s
+	if s.Dim() > c.dim {
+		c.dim = s.Dim()
+	}
+	for i := range s {
+		c.Add(s.Face(i))
+	}
+}
+
+// Has reports whether s is a simplex of the reference complex.
+func (c *ReferenceComplex) Has(s Simplex) bool {
+	if len(s) == 0 {
+		return len(c.simplices) > 0
+	}
+	_, ok := c.simplices[s.Key()]
+	return ok
+}
+
+// Size returns the total number of nonempty simplexes.
+func (c *ReferenceComplex) Size() int { return len(c.simplices) }
+
+// Dim returns the dimension (-1 if empty).
+func (c *ReferenceComplex) Dim() int { return c.dim }
+
+// FVector returns the f-vector, like Complex.FVector.
+func (c *ReferenceComplex) FVector() []int {
+	if c.dim < 0 {
+		return nil
+	}
+	fv := make([]int, c.dim+1)
+	for _, s := range c.simplices {
+		fv[s.Dim()]++
+	}
+	return fv
+}
+
+// AllSimplices returns every simplex sorted by dimension then key.
+func (c *ReferenceComplex) AllSimplices() []Simplex {
+	out := make([]Simplex, 0, len(c.simplices))
+	for _, s := range c.simplices {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+// CanonicalHash hashes the sorted, length-prefixed key set with the same
+// encoding as Complex.CanonicalHash; equal simplex sets hash equal across
+// the two representations.
+func (c *ReferenceComplex) CanonicalHash() string {
+	keys := make([]string, 0, len(c.simplices))
+	for k := range c.simplices {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		io.WriteString(h, strconv.Itoa(len(k)))
+		io.WriteString(h, ":")
+		io.WriteString(h, k)
+		io.WriteString(h, ";")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ToComplex rebuilds an interned Complex holding exactly the same simplex
+// set (by re-adding every simplex; the set is already face-closed).
+func (c *ReferenceComplex) ToComplex() *Complex {
+	out := NewComplex()
+	for _, s := range c.AllSimplices() {
+		out.addDirect(s)
+	}
+	return out
+}
