@@ -5,6 +5,7 @@ package pseudosphere_test
 // versus dense-field homology and the decision-map search fast path.
 
 import (
+	"context"
 	"testing"
 
 	"pseudosphere/internal/asyncmodel"
@@ -27,12 +28,12 @@ func inputSimplex(m int) topology.Simplex {
 	for i := 0; i <= m; i++ {
 		vs[i] = topology.Vertex{P: i, Label: labels[i]}
 	}
-	return topology.MustSimplex(vs...)
+	return mustSimplex(vs...)
 }
 
 func BenchmarkE1Figure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ps := core.MustUniform(core.ProcessSimplex(2), []string{"0", "1"})
+		ps := mustUniform(core.ProcessSimplex(2), []string{"0", "1"})
 		if homology.BettiZ2(ps)[2] != 1 {
 			b.Fatal("not a sphere")
 		}
@@ -41,8 +42,8 @@ func BenchmarkE1Figure1(b *testing.B) {
 
 func BenchmarkE2Figure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		circle := core.MustUniform(core.ProcessSimplex(1), []string{"0", "1"})
-		k33 := core.MustUniform(core.ProcessSimplex(1), []string{"0", "1", "2"})
+		circle := mustUniform(core.ProcessSimplex(1), []string{"0", "1"})
+		k33 := mustUniform(core.ProcessSimplex(1), []string{"0", "1", "2"})
 		if homology.BettiZ2(circle)[1]+homology.BettiZ2(k33)[1] != 5 {
 			b.Fatal("wrong homology")
 		}
@@ -250,7 +251,7 @@ func BenchmarkE10SemiSyncBound(b *testing.B) {
 
 func BenchmarkE11PseudosphereAlgebra(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E11PseudosphereAlgebra(); err != nil {
+		if _, err := experiments.E11PseudosphereAlgebra(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -92,6 +92,9 @@ func run(w io.Writer, model, proto, inputList string, f, k int, crash string, se
 			return err
 		}
 		timing := sim.Timing{C1: c1, C2: c2, D: d}
+		for _, warn := range timing.Warnings() {
+			fmt.Fprintln(os.Stderr, "agree: warning:", warn)
+		}
 		lb, err := bounds.SemiSyncTimeLowerBound(f, k, c1, c2, d)
 		if err != nil {
 			return err

@@ -13,18 +13,28 @@
 // parallel memoized engine (-cache, default on). Both the complex and the
 // Betti output are identical for every worker count. -cpuprofile and
 // -memprofile write pprof profiles for the run.
+//
+// -progress prints periodic counter lines to stderr, -debug-addr serves
+// live expvar and pprof, and -report writes a JSON run report. SIGINT
+// cancels construction and reduction at the next shard boundary; -report
+// still records the partial run with "interrupted" set.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"pseudosphere/internal/asyncmodel"
 	"pseudosphere/internal/homology"
+	"pseudosphere/internal/obs"
 	"pseudosphere/internal/semisync"
 	"pseudosphere/internal/syncmodel"
 	"pseudosphere/internal/topology"
@@ -58,6 +68,9 @@ func realMain() int {
 	flag.IntVar(&cfg.d, "d", 2, "semisync: max delivery delay")
 	flag.IntVar(&cfg.workers, "workers", 0, "construction and homology worker goroutines (0 = NumCPU)")
 	flag.BoolVar(&cfg.cache, "cache", true, "memoize homology by canonical complex hash")
+	progress := flag.Bool("progress", false, "print periodic progress lines to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. :6060)")
+	reportPath := flag.String("report", "", "write a JSON run report to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -74,7 +87,27 @@ func realMain() int {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(os.Stdout, cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	tracker := obs.NewTracker()
+	ctx = obs.WithTracker(ctx, tracker)
+	if *progress {
+		rep := tracker.StartProgress(os.Stderr, 2*time.Second)
+		defer rep.Stop()
+	}
+	if *debugAddr != "" {
+		tracker.PublishExpvar("connectivity.counters", "connectivity.stages")
+		ds, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connectivity:", err)
+			return 1
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "connectivity: debug server at http://%s/debug/vars\n", ds.Addr)
+	}
+
+	err := run(ctx, os.Stdout, cfg)
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)
 		if merr != nil {
@@ -87,14 +120,27 @@ func realMain() int {
 		}
 		f.Close()
 	}
+	if *reportPath != "" {
+		rep := tracker.Snapshot("connectivity")
+		rep.Workers = workerCount(cfg.workers)
+		rep.Interrupted = ctx.Err() != nil
+		if werr := rep.WriteFile(*reportPath); werr != nil {
+			fmt.Fprintln(os.Stderr, "connectivity:", werr)
+			return 1
+		}
+	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "connectivity: interrupted")
+			return 130
+		}
 		fmt.Fprintln(os.Stderr, "connectivity:", err)
 		return 1
 	}
 	return 0
 }
 
-func run(w io.Writer, cfg config) error {
+func run(ctx context.Context, w io.Writer, cfg config) error {
 	if cfg.m < 0 {
 		cfg.m = cfg.n
 	}
@@ -102,6 +148,7 @@ func run(w io.Writer, cfg config) error {
 		return fmt.Errorf("m=%d exceeds n=%d", cfg.m, cfg.n)
 	}
 	input := inputSimplex(cfg.m)
+	tracker := obs.FromContext(ctx)
 
 	var (
 		complexName string
@@ -110,9 +157,10 @@ func run(w io.Writer, cfg config) error {
 		condition   string
 	)
 	buildWorkers := workerCount(cfg.workers)
+	buildStage := tracker.Stage("construct")
 	switch cfg.model {
 	case "async":
-		res, err := asyncmodel.RoundsParallel(input, asyncmodel.Params{N: cfg.n, F: cfg.f}, cfg.r, buildWorkers)
+		res, err := asyncmodel.RoundsParallelCtx(ctx, input, asyncmodel.Params{N: cfg.n, F: cfg.f}, cfg.r, buildWorkers)
 		if err != nil {
 			return err
 		}
@@ -121,7 +169,7 @@ func run(w io.Writer, cfg config) error {
 		target = cfg.m - (cfg.n - cfg.f) - 1
 		condition = "Lemma 12"
 	case "sync":
-		res, err := syncmodel.RoundsParallel(input, syncmodel.Params{PerRound: cfg.k, Total: cfg.r * cfg.k}, cfg.r, buildWorkers)
+		res, err := syncmodel.RoundsParallelCtx(ctx, input, syncmodel.Params{PerRound: cfg.k, Total: cfg.r * cfg.k}, cfg.r, buildWorkers)
 		if err != nil {
 			return err
 		}
@@ -131,7 +179,7 @@ func run(w io.Writer, cfg config) error {
 		condition = fmt.Sprintf("Lemma 17 (requires n >= rk+k = %d)", cfg.r*cfg.k+cfg.k)
 	case "semisync":
 		p := semisync.Params{C1: cfg.c1, C2: cfg.c2, D: cfg.d, PerRound: cfg.k, Total: cfg.r * cfg.k}
-		res, err := semisync.RoundsParallel(input, p, cfg.r, buildWorkers)
+		res, err := semisync.RoundsParallelCtx(ctx, input, p, cfg.r, buildWorkers)
 		if err != nil {
 			return err
 		}
@@ -142,6 +190,7 @@ func run(w io.Writer, cfg config) error {
 	default:
 		return fmt.Errorf("unknown model %q", cfg.model)
 	}
+	buildStage.Meta("facets", int64(len(c.Facets()))).Meta("simplexes", int64(c.Size())).End()
 
 	var cache *homology.Cache
 	if cfg.cache {
@@ -152,10 +201,19 @@ func run(w io.Writer, cfg config) error {
 	fmt.Fprintf(w, "%s\n", complexName)
 	fmt.Fprintf(w, "f-vector:      %v\n", c.FVector())
 	fmt.Fprintf(w, "facets:        %d\n", len(c.Facets()))
-	conn := eng.Connectivity(c)
+	reduceStage := tracker.Stage("reduce")
+	conn, err := eng.ConnectivityCtx(ctx, c)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "connectivity:  %d\n", conn)
 	fmt.Fprintf(w, "paper target:  %d-connected per %s\n", target, condition)
-	if eng.IsKConnected(c, target) {
+	match, err := eng.IsKConnectedCtx(ctx, c, target)
+	if err != nil {
+		return err
+	}
+	reduceStage.End()
+	if match {
 		fmt.Fprintf(w, "verdict:       matches the paper\n")
 	} else {
 		fmt.Fprintf(w, "verdict:       BELOW the paper's prediction (check the side condition)\n")
@@ -174,10 +232,13 @@ func workerCount(flagged int) int {
 	return runtime.NumCPU()
 }
 
+// inputSimplex builds the m-dimensional input simplex; the vertices are
+// generated in ascending process order, which is the Simplex invariant,
+// so no validating constructor is needed.
 func inputSimplex(m int) topology.Simplex {
-	vs := make([]topology.Vertex, m+1)
+	vs := make(topology.Simplex, m+1)
 	for i := range vs {
 		vs[i] = topology.Vertex{P: i, Label: string(rune('a' + i))}
 	}
-	return topology.MustSimplex(vs...)
+	return vs
 }

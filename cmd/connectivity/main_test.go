@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -36,7 +37,7 @@ func TestRunAllModels(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run(&buf, tt.cfg); err != nil {
+			if err := run(context.Background(), &buf, tt.cfg); err != nil {
 				t.Fatal(err)
 			}
 			out := buf.String()
@@ -52,10 +53,10 @@ func TestRunAllModels(t *testing.T) {
 
 func TestRunRejectsBadConfig(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, config{model: "quantum", n: 2, m: -1}); err == nil {
+	if err := run(context.Background(), &buf, config{model: "quantum", n: 2, m: -1}); err == nil {
 		t.Fatal("unknown model accepted")
 	}
-	if err := run(&buf, config{model: "async", n: 1, m: 3, f: 1, r: 1}); err == nil {
+	if err := run(context.Background(), &buf, config{model: "async", n: 1, m: 3, f: 1, r: 1}); err == nil {
 		t.Fatal("m > n accepted")
 	}
 }

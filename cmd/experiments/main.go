@@ -5,6 +5,7 @@
 // Usage:
 //
 //	experiments [-id E5] [-markdown] [-workers 4] [-cache=false] [-deep]
+//	            [-progress] [-debug-addr :6060] [-report out.json]
 //	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Connectivity queries run on the parallel memoized homology engine;
@@ -13,17 +14,29 @@
 // to recompute. -deep extends E15 with the large-envelope constructions
 // (minutes of work; off by default so test runs stay fast). -cpuprofile
 // and -memprofile write pprof profiles for the run.
+//
+// -progress prints periodic progress lines (facet/schedule counters,
+// rates) to stderr, -debug-addr serves live expvar counters and pprof at
+// /debug/vars and /debug/pprof/, and -report writes a JSON run report
+// (per-experiment wall time, final counters). SIGINT cancels the run at
+// the next shard boundary: the tools exit nonzero, and -report still
+// records the partial run with "interrupted" set.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"pseudosphere/internal/experiments"
+	"pseudosphere/internal/obs"
 )
 
 func main() {
@@ -38,6 +51,9 @@ func realMain() int {
 	workers := flag.Int("workers", 0, "construction and homology worker goroutines (0 = NumCPU)")
 	cache := flag.Bool("cache", true, "memoize homology by canonical complex hash")
 	deep := flag.Bool("deep", false, "include the large-envelope E15 constructions")
+	progress := flag.Bool("progress", false, "print periodic progress lines to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. :6060)")
+	reportPath := flag.String("report", "", "write a JSON run report to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -56,7 +72,27 @@ func realMain() int {
 	}
 	experiments.ConfigureEngine(*workers, *cache)
 	experiments.SetDeepScaling(*deep)
-	err := run(os.Stdout, *id, *markdown)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	tracker := obs.NewTracker()
+	ctx = obs.WithTracker(ctx, tracker)
+	if *progress {
+		rep := tracker.StartProgress(os.Stderr, 2*time.Second)
+		defer rep.Stop()
+	}
+	if *debugAddr != "" {
+		tracker.PublishExpvar("experiments.counters", "experiments.stages")
+		ds, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "experiments: debug server at http://%s/debug/vars\n", ds.Addr)
+	}
+
+	err := run(ctx, os.Stdout, *id, *markdown)
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)
 		if merr != nil {
@@ -69,14 +105,29 @@ func realMain() int {
 		}
 		f.Close()
 	}
+	if *reportPath != "" {
+		rep := tracker.Snapshot("experiments")
+		rep.Workers = *workers
+		rep.Deep = *deep
+		rep.Interrupted = ctx.Err() != nil
+		if werr := rep.WriteFile(*reportPath); werr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", werr)
+			return 1
+		}
+	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			return 130
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 1
 	}
 	return 0
 }
 
-func run(w io.Writer, id string, markdown bool) error {
+func run(ctx context.Context, w io.Writer, id string, markdown bool) error {
+	tracker := obs.FromContext(ctx)
 	all := experiments.All()
 	anyRun := false
 	mismatches := 0
@@ -84,8 +135,13 @@ func run(w io.Writer, id string, markdown bool) error {
 		if id != "" && e.ID != id {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		anyRun = true
-		table, err := e.Run()
+		stage := tracker.Stage(e.ID)
+		table, err := e.Run(ctx)
+		stage.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}

@@ -2,13 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"pseudosphere/internal/obs"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "E1", false); err != nil {
+	if err := run(context.Background(), &buf, "E1", false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -22,7 +29,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunMarkdown(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "E2", true); err != nil {
+	if err := run(context.Background(), &buf, "E2", true); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "### E2") {
@@ -32,7 +39,53 @@ func TestRunMarkdown(t *testing.T) {
 
 func TestRunUnknownID(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "E99", false); err == nil {
+	if err := run(context.Background(), &buf, "E99", false); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, &buf, "E1", false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestPartialReportWellFormed mirrors what realMain does after an
+// interrupted run: snapshot the tracker mid-run and check the report both
+// round-trips as JSON and records the truncation.
+func TestPartialReportWellFormed(t *testing.T) {
+	tracker := obs.NewTracker()
+	ctx, cancel := context.WithCancel(obs.WithTracker(context.Background(), tracker))
+	var buf bytes.Buffer
+	if err := run(ctx, &buf, "E1", false); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := run(ctx, &buf, "E2", false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	rep := tracker.Snapshot("experiments")
+	rep.Interrupted = true
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed obs.Report
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("partial report does not parse: %v", err)
+	}
+	if !parsed.Interrupted {
+		t.Fatal("interrupted flag lost in round trip")
+	}
+	if len(parsed.Stages) == 0 || parsed.Stages[0].Name != "E1" {
+		t.Fatalf("expected the completed E1 stage in the partial report, got %+v", parsed.Stages)
 	}
 }

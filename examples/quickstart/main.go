@@ -17,7 +17,10 @@ import (
 func main() {
 	// 1. A pseudosphere (Definition 3): independently assign {0,1} to
 	// three processes. The result is a combinatorial 2-sphere (Figure 1).
-	ps := core.MustUniform(core.ProcessSimplex(2), []string{"0", "1"})
+	ps, err := core.Uniform(core.ProcessSimplex(2), []string{"0", "1"})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("psi(S^2; {0,1}) — the paper's Figure 1")
 	fmt.Printf("  f-vector: %v, Euler characteristic: %d\n", ps.FVector(), ps.EulerCharacteristic())
 	fmt.Printf("  Betti numbers: %v (the 2-sphere)\n", homology.BettiZ2(ps))

@@ -15,7 +15,7 @@ func inputSimplex(labels ...string) topology.Simplex {
 	for i, l := range labels {
 		vs[i] = topology.Vertex{P: i, Label: l}
 	}
-	return topology.MustSimplex(vs...)
+	return mustSimplex(vs...)
 }
 
 // TestLemma11Isomorphism verifies Lemma 11 mechanically: the enumerated

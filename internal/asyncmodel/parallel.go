@@ -1,10 +1,12 @@
 package asyncmodel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"pseudosphere/internal/obs"
 	"pseudosphere/internal/pc"
 	"pseudosphere/internal/topology"
 	"pseudosphere/internal/views"
@@ -19,6 +21,12 @@ func OneRoundParallel(input topology.Simplex, p Params, workers int) (*pc.Result
 	return RoundsParallel(input, p, 1, workers)
 }
 
+// OneRoundParallelCtx is OneRoundParallel with cooperative cancellation:
+// see RoundsParallelCtx.
+func OneRoundParallelCtx(ctx context.Context, input topology.Simplex, p Params, workers int) (*pc.Result, error) {
+	return RoundsParallelCtx(ctx, input, p, 1, workers)
+}
+
 // RoundsParallel is Rounds with the first-round product space split across
 // a worker pool: each worker enumerates a slice of the linear index range,
 // closing faces into a private complex, and the shards are merged at the
@@ -26,14 +34,28 @@ func OneRoundParallel(input topology.Simplex, p Params, workers int) (*pc.Result
 // and scheduling — the complex is a set and every accessor sorts — so
 // CanonicalHash agrees bit for bit with the serial construction.
 func RoundsParallel(input topology.Simplex, p Params, r int, workers int) (*pc.Result, error) {
+	return RoundsParallelCtx(context.Background(), input, p, r, workers)
+}
+
+// RoundsParallelCtx is RoundsParallel threaded with a context: workers
+// observe cancellation at the next chunk boundary (at most one chunk of
+// work after ctx fires), the call returns ctx.Err(), and an obs.Tracker
+// carried by the context (obs.FromContext) has its "facets" counter bumped
+// chunk by chunk. With an uncancellable context and workers <= 1 the call
+// is exactly the serial Rounds.
+func RoundsParallelCtx(ctx context.Context, input topology.Simplex, p Params, r int, workers int) (*pc.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if r < 0 {
 		return nil, fmt.Errorf("asyncmodel: negative round count %d", r)
 	}
-	if workers <= 1 || r == 0 {
+	cancellable := ctx.Done() != nil
+	if (workers <= 1 && !cancellable) || r == 0 {
 		return Rounds(input, p, r)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	res := pc.NewResult()
 	if len(input)-1 < p.N-p.F {
@@ -44,7 +66,7 @@ func RoundsParallel(input topology.Simplex, p Params, r int, workers int) (*pc.R
 	// workers only ever read the shared views.
 	opts := oneRoundOptions(cur, p)
 	total := pc.ProductSize(opts)
-	if r == 1 && total < parallelThreshold {
+	if r == 1 && total < parallelThreshold && !cancellable {
 		roundsRec(res, cur, p, r)
 		return res, nil
 	}
@@ -54,6 +76,12 @@ func RoundsParallel(input topology.Simplex, p Params, r int, workers int) (*pc.R
 		// fine-grained dispatch keeps the workers balanced.
 		chunk = 1
 	}
+	var cancelled atomic.Bool
+	if cancellable {
+		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
+		defer stop()
+	}
+	facetCtr := obs.FromContext(ctx).Counter("facets")
 	nw := int64(workers)
 	if nw > total {
 		nw = total
@@ -71,6 +99,9 @@ func RoundsParallel(input topology.Simplex, p Params, r int, workers int) (*pc.R
 			verts := make([]topology.Vertex, len(cur))
 			facet := make([]*views.View, len(cur))
 			for {
+				if cancelled.Load() {
+					return
+				}
 				lo := atomic.AddInt64(&cursor, chunk) - chunk
 				if lo >= total {
 					return
@@ -89,10 +120,16 @@ func RoundsParallel(input topology.Simplex, p Params, r int, workers int) (*pc.R
 					}
 					pc.Advance(idx, opts)
 				}
+				facetCtr.Add(uint64(hi - lo))
 			}
 		}(local)
 	}
 	wg.Wait()
+	if cancelled.Load() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	for _, l := range locals {
 		res.Merge(l)
 	}

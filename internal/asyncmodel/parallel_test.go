@@ -12,7 +12,7 @@ func parallelInput(n int) topology.Simplex {
 	for i := range verts {
 		verts[i] = topology.Vertex{P: i, Label: fmt.Sprintf("v%d", i)}
 	}
-	return topology.MustSimplex(verts...)
+	return mustSimplex(verts...)
 }
 
 // The parallel construction must agree bit for bit with the serial one for

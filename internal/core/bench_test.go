@@ -5,14 +5,14 @@ import "testing"
 func BenchmarkPseudosphereBinary(b *testing.B) {
 	base := ProcessSimplex(3)
 	for i := 0; i < b.N; i++ {
-		MustUniform(base, []string{"0", "1"})
+		mustUniform(base, []string{"0", "1"})
 	}
 }
 
 func BenchmarkPseudosphereTernary(b *testing.B) {
 	base := ProcessSimplex(3)
 	for i := 0; i < b.N; i++ {
-		MustUniform(base, []string{"0", "1", "2"})
+		mustUniform(base, []string{"0", "1", "2"})
 	}
 }
 

@@ -10,7 +10,7 @@ import (
 // ExamplePseudosphere builds Figure 1's pseudosphere and prints its
 // f-vector and homology.
 func ExamplePseudosphere() {
-	ps := core.MustUniform(core.ProcessSimplex(2), []string{"0", "1"})
+	ps := mustUniform(core.ProcessSimplex(2), []string{"0", "1"})
 	fmt.Println(ps.FVector())
 	fmt.Println(homology.BettiZ2(ps))
 	// Output:
@@ -20,7 +20,10 @@ func ExamplePseudosphere() {
 
 // ExampleInputComplex shows the k-set agreement input complex.
 func ExampleInputComplex() {
-	ic := core.InputComplex(1, []string{"a", "b", "c"})
+	ic, err := core.InputComplex(1, []string{"a", "b", "c"})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(len(ic.Facets()), "possible input assignments")
 	// Output: 9 possible input assignments
 }

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"pseudosphere/internal/topology"
+)
+
+// mustSimplex is topology.NewSimplex for statically-correct test
+// inputs; it panics on error so call sites stay one-line literals.
+func mustSimplex(vs ...topology.Vertex) topology.Simplex {
+	s, err := topology.NewSimplex(vs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// mustUniform is Uniform for statically-correct test inputs; it panics
+// on error.
+func mustUniform(base topology.Simplex, set []string) *topology.Complex {
+	c, err := Uniform(base, set)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustPseudosphere is Pseudosphere for statically-correct test inputs;
+// it panics on error.
+func mustPseudosphere(base topology.Simplex, sets [][]string) *topology.Complex {
+	c, err := Pseudosphere(base, sets)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -83,15 +83,6 @@ func Pseudosphere(base topology.Simplex, sets [][]string) (*topology.Complex, er
 	return c, nil
 }
 
-// MustPseudosphere is Pseudosphere for statically-correct inputs.
-func MustPseudosphere(base topology.Simplex, sets [][]string) *topology.Complex {
-	c, err := Pseudosphere(base, sets)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // Uniform constructs psi(S; U) with the same value set at every vertex
 // (the paper's shorthand).
 func Uniform(base topology.Simplex, set []string) (*topology.Complex, error) {
@@ -102,29 +93,22 @@ func Uniform(base topology.Simplex, set []string) (*topology.Complex, error) {
 	return Pseudosphere(base, sets)
 }
 
-// MustUniform is Uniform for statically-correct inputs.
-func MustUniform(base topology.Simplex, set []string) *topology.Complex {
-	c, err := Uniform(base, set)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // ProcessSimplex returns the bare n-simplex whose vertices are labeled with
-// the process ids 0..n and empty labels: the paper's P^n.
+// the process ids 0..n and empty labels: the paper's P^n. The vertices are
+// constructed in ascending process-id order, so the slice is a valid
+// chromatic simplex by construction.
 func ProcessSimplex(n int) topology.Simplex {
-	vs := make([]topology.Vertex, n+1)
+	vs := make(topology.Simplex, n+1)
 	for i := range vs {
 		vs[i] = topology.Vertex{P: i}
 	}
-	return topology.MustSimplex(vs...)
+	return vs
 }
 
 // InputComplex returns the input complex of k-set agreement with n+1
 // processes and value set values: the pseudosphere psi(P^n; V) (Section 5).
-func InputComplex(n int, values []string) *topology.Complex {
-	return MustUniform(ProcessSimplex(n), values)
+func InputComplex(n int, values []string) (*topology.Complex, error) {
+	return Uniform(ProcessSimplex(n), values)
 }
 
 // InputFacets enumerates the facets of the input complex psi(P^n; values):
@@ -137,11 +121,12 @@ func InputFacets(n int, values []string) []topology.Simplex {
 		return nil
 	}
 	for {
-		vs := make([]topology.Vertex, n+1)
+		// Ascending process ids, so the slice is a valid simplex as-is.
+		vs := make(topology.Simplex, n+1)
 		for i := range vs {
 			vs[i] = topology.Vertex{P: i, Label: vals[idx[i]]}
 		}
-		out = append(out, topology.MustSimplex(vs...))
+		out = append(out, vs)
 		j := n
 		for j >= 0 {
 			idx[j]++

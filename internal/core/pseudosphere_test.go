@@ -14,7 +14,7 @@ var binary = []string{"0", "1"}
 // psi(S^2; {0,1}) is (topologically) a 2-sphere: 6 vertices, 12 edges,
 // 8 triangles, Euler characteristic 2, and the homology of S^2.
 func TestFigure1(t *testing.T) {
-	ps := MustUniform(ProcessSimplex(2), binary)
+	ps := mustUniform(ProcessSimplex(2), binary)
 	fv := ps.FVector()
 	if fv[0] != 6 || fv[1] != 12 || fv[2] != 8 {
 		t.Fatalf("f-vector = %v, want [6 12 8]", fv)
@@ -34,7 +34,7 @@ func TestFigure1(t *testing.T) {
 // TestFigure2 reproduces Figure 2: psi(S^1; {0,1}) is a 4-cycle (a circle)
 // and psi(S^1; {0,1,2}) is the complete bipartite graph K_{3,3}.
 func TestFigure2(t *testing.T) {
-	circle := MustUniform(ProcessSimplex(1), binary)
+	circle := mustUniform(ProcessSimplex(1), binary)
 	fv := circle.FVector()
 	if fv[0] != 4 || fv[1] != 4 {
 		t.Fatalf("psi(S^1;{0,1}) f-vector = %v, want [4 4]", fv)
@@ -44,7 +44,7 @@ func TestFigure2(t *testing.T) {
 		t.Fatalf("betti = %v, want a circle [1 1]", betti)
 	}
 
-	k33 := MustUniform(ProcessSimplex(1), []string{"0", "1", "2"})
+	k33 := mustUniform(ProcessSimplex(1), []string{"0", "1", "2"})
 	fv = k33.FVector()
 	if fv[0] != 6 || fv[1] != 9 {
 		t.Fatalf("psi(S^1;{0,1,2}) f-vector = %v, want [6 9]", fv)
@@ -60,7 +60,7 @@ func TestFigure2(t *testing.T) {
 // dimension: psi(S^n; {0,1}) has the homology of the n-sphere.
 func TestSphereEquivalence(t *testing.T) {
 	for n := 1; n <= 3; n++ {
-		ps := MustUniform(ProcessSimplex(n), binary)
+		ps := mustUniform(ProcessSimplex(n), binary)
 		betti := homology.BettiZ2(ps)
 		for d := 0; d <= n; d++ {
 			want := 0
@@ -78,7 +78,7 @@ func TestSphereEquivalence(t *testing.T) {
 // with singleton value sets is isomorphic to its base simplex.
 func TestLemma4Singleton(t *testing.T) {
 	base := ProcessSimplex(2)
-	ps := MustUniform(base, []string{"x"})
+	ps := mustUniform(base, []string{"x"})
 	if got := len(ps.Facets()); got != 1 {
 		t.Fatalf("facets = %d, want 1", got)
 	}
@@ -99,8 +99,8 @@ func TestLemma4Singleton(t *testing.T) {
 // eliminates its vertex.
 func TestLemma4EmptySet(t *testing.T) {
 	base := ProcessSimplex(2)
-	with := MustPseudosphere(base, [][]string{{"0", "1"}, {}, {"0", "1"}})
-	without := MustPseudosphere(topology.MustSimplex(base[0], base[2]), [][]string{{"0", "1"}, {"0", "1"}})
+	with := mustPseudosphere(base, [][]string{{"0", "1"}, {}, {"0", "1"}})
+	without := mustPseudosphere(mustSimplex(base[0], base[2]), [][]string{{"0", "1"}, {"0", "1"}})
 	if !with.Equal(without) {
 		t.Fatalf("Lemma 4(2) violated: %v vs %v", with, without)
 	}
@@ -109,23 +109,23 @@ func TestLemma4EmptySet(t *testing.T) {
 // TestLemma4Intersection checks the third identity:
 // psi(S0;U) ∩ psi(S1;U') = psi(S0∩S1; U∩U') as concrete complexes.
 func TestLemma4Intersection(t *testing.T) {
-	s0 := topology.MustSimplex(
+	s0 := mustSimplex(
 		topology.Vertex{P: 0}, topology.Vertex{P: 1}, topology.Vertex{P: 2},
 	)
-	s1 := topology.MustSimplex(
+	s1 := mustSimplex(
 		topology.Vertex{P: 1}, topology.Vertex{P: 2}, topology.Vertex{P: 3},
 	)
 	u := [][]string{{"0", "1"}, {"0", "1", "2"}, {"1", "2"}}
 	w := [][]string{{"1", "2"}, {"1"}, {"0", "2"}}
-	ps0 := MustPseudosphere(s0, u)
-	ps1 := MustPseudosphere(s1, w)
+	ps0 := mustPseudosphere(s0, u)
+	ps1 := mustPseudosphere(s1, w)
 	inter := ps0.Intersection(ps1)
 
 	// Common base: vertices 1 and 2; value sets are the pairwise
 	// intersections aligned by process id.
-	common := topology.MustSimplex(topology.Vertex{P: 1}, topology.Vertex{P: 2})
+	common := mustSimplex(topology.Vertex{P: 1}, topology.Vertex{P: 2})
 	sets := IntersectSets([][]string{u[1], u[2]}, [][]string{w[0], w[1]})
-	want := MustPseudosphere(common, sets)
+	want := mustPseudosphere(common, sets)
 	if !inter.Equal(want) {
 		t.Fatalf("Lemma 4(3) violated:\n got %v\nwant %v", inter, want)
 	}
@@ -142,7 +142,7 @@ func TestCorollary6(t *testing.T) {
 	}
 	for i, sets := range cases {
 		m := len(sets) - 1
-		ps := MustPseudosphere(ProcessSimplex(m), sets)
+		ps := mustPseudosphere(ProcessSimplex(m), sets)
 		if !homology.IsKConnected(ps, m-1) {
 			t.Fatalf("case %d: psi(S^%d; ...) not %d-connected", i, m, m-1)
 		}
@@ -160,7 +160,7 @@ func TestCorollary8(t *testing.T) {
 	} // all contain "1"
 	u := topology.NewComplex()
 	for _, set := range families {
-		u.UnionWith(MustUniform(base, set))
+		u.UnionWith(mustUniform(base, set))
 	}
 	if !homology.IsKConnected(u, 1) {
 		t.Fatalf("Corollary 8 union not 1-connected: betti=%v", homology.ReducedBettiZ2(u))
@@ -171,7 +171,7 @@ func TestCorollary8(t *testing.T) {
 // pseudospheres over disjoint value sets form a disconnected union.
 func TestCorollary8NeedsCommonValue(t *testing.T) {
 	base := ProcessSimplex(1)
-	u := MustUniform(base, []string{"0"}).Union(MustUniform(base, []string{"1"}))
+	u := mustUniform(base, []string{"0"}).Union(mustUniform(base, []string{"1"}))
 	if homology.IsKConnected(u, 0) {
 		t.Fatal("disjoint-value union should be disconnected")
 	}
@@ -179,7 +179,7 @@ func TestCorollary8NeedsCommonValue(t *testing.T) {
 
 func TestExpectedSizeAndFacetCount(t *testing.T) {
 	sets := [][]string{{"0", "1"}, {"0", "1", "2"}, {}, {"x"}}
-	ps := MustPseudosphere(ProcessSimplex(3), sets)
+	ps := mustPseudosphere(ProcessSimplex(3), sets)
 	if got, want := ps.Size(), ExpectedSize(sets); got != want {
 		t.Fatalf("size = %d, want %d", got, want)
 	}
@@ -244,7 +244,10 @@ func TestInputFacets(t *testing.T) {
 	if len(fs) != 4 {
 		t.Fatalf("input facets = %d, want 4", len(fs))
 	}
-	ic := InputComplex(1, binary)
+	ic, err := InputComplex(1, binary)
+	if err != nil {
+		t.Fatal(err)
+	}
 	u := topology.NewComplex()
 	for _, s := range fs {
 		u.Add(s)

@@ -153,7 +153,7 @@ func TestTheorem7Async(t *testing.T) {
 // union.
 func TestApplyUnionsOverSimplices(t *testing.T) {
 	base := core.ProcessSimplex(1)
-	input := core.MustUniform(base, []string{"0", "1"})
+	input := mustUniform(base, []string{"0", "1"})
 	p := core.ProtocolMap(core.IdentityProtocol)
 	applied := p.Apply(input)
 	if !applied.Equal(input) {

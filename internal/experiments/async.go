@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pseudosphere/internal/asyncmodel"
@@ -11,19 +12,22 @@ import (
 	"pseudosphere/internal/topology"
 )
 
+// labeledInput builds the canonical (m+1)-process input simplex; the
+// vertices are constructed in ascending process order, which is exactly
+// the Simplex invariant, so no validating constructor is needed.
 func labeledInput(m int) topology.Simplex {
 	labels := []string{"a", "b", "c", "d", "e"}
-	vs := make([]topology.Vertex, m+1)
+	vs := make(topology.Simplex, m+1)
 	for i := 0; i <= m; i++ {
 		vs[i] = topology.Vertex{P: i, Label: labels[i]}
 	}
-	return topology.MustSimplex(vs...)
+	return vs
 }
 
 // E3AsyncOneRound verifies Lemma 11 across parameters: the one-round
 // asynchronous complex equals the stated pseudosphere via the explicit
 // map, and its facet count matches the product formula.
-func E3AsyncOneRound() (*Table, error) {
+func E3AsyncOneRound(ctx context.Context) (*Table, error) {
 	t := newTable("E3", "async one-round complex is a pseudosphere", "Lemma 11",
 		"n", "f", "facets", "simplexes", "iso to psi(S; 2^{P-Pi}_{>=n-f})")
 	for _, p := range []asyncmodel.Params{
@@ -55,7 +59,7 @@ func E3AsyncOneRound() (*Table, error) {
 // E4AsyncConnectivity verifies Lemma 12's connectivity table and drives
 // Corollary 13 both ways: no decision map for k <= f (search agrees with
 // the obstruction), and a working protocol for k = f+1.
-func E4AsyncConnectivity() (*Table, error) {
+func E4AsyncConnectivity(ctx context.Context) (*Table, error) {
 	t := newTable("E4", "async connectivity and the k <= f impossibility",
 		"Lemma 12, Corollary 13",
 		"instance", "paper", "measured")
@@ -77,7 +81,10 @@ func E4AsyncConnectivity() (*Table, error) {
 			return nil, err
 		}
 		target := c.m - (c.p.N - c.p.F) - 1
-		ok := conn.IsKConnected(res.Complex, target)
+		ok, err := conn.IsKConnectedCtx(ctx, res.Complex, target)
+		if err != nil {
+			return nil, err
+		}
 		t.addRow(ok,
 			fmt.Sprintf("A^%d(S^%d), n=%d f=%d", c.r, c.m, c.p.N, c.p.F),
 			fmt.Sprintf("%d-connected", target),
@@ -91,7 +98,7 @@ func E4AsyncConnectivity() (*Table, error) {
 		return nil, err
 	}
 	ann := task.AnnotateViews(res.Complex, res.Views)
-	_, found, err := task.FindDecision(ann, 1, 0)
+	_, found, err := task.FindDecisionCtx(ctx, ann, 1, 0)
 	if err != nil {
 		return nil, err
 	}

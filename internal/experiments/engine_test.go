@@ -12,8 +12,8 @@ import (
 // engine from many goroutines on the complexes the experiments actually
 // query; under -race this certifies experiments can safely share conn.
 func TestSharedEngineConcurrentQueries(t *testing.T) {
-	sphere := core.MustUniform(core.ProcessSimplex(2), binary)
-	circle := core.MustUniform(core.ProcessSimplex(1), binary)
+	sphere := mustUniform(core.ProcessSimplex(2), binary)
+	circle := mustUniform(core.ProcessSimplex(1), binary)
 	const goroutines, iters = 12, 20
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
@@ -40,7 +40,7 @@ func TestSharedEngineConcurrentQueries(t *testing.T) {
 func TestConfigureEngine(t *testing.T) {
 	defer ConfigureEngine(0, true) // restore the default for other tests
 	ConfigureEngine(2, false)
-	sphere := core.MustUniform(core.ProcessSimplex(2), binary)
+	sphere := mustUniform(core.ProcessSimplex(2), binary)
 	want := homology.BettiZ2(sphere)
 	got := conn.BettiZ2(sphere)
 	for d := range want {

@@ -5,8 +5,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+
+	"pseudosphere/internal/obs"
 )
 
 // Table is one experiment's output.
@@ -43,11 +46,13 @@ func newTable(id, title, paper string, headers ...string) *Table {
 // Runner enumerates the experiments.
 type Runner struct{}
 
-// Experiment pairs an id with its generator.
+// Experiment pairs an id with its generator. Run observes the context:
+// cancellation propagates into the long enumerations and reductions, and
+// an obs.Tracker carried by the context collects progress counters.
 type Experiment struct {
 	ID   string
 	Name string
-	Run  func() (*Table, error)
+	Run  func(context.Context) (*Table, error)
 }
 
 // All returns every experiment in order.
@@ -72,11 +77,20 @@ func All() []Experiment {
 }
 
 // RunAll executes every experiment, returning the tables and the first
-// error encountered (tables already produced are still returned).
-func RunAll() ([]*Table, error) {
+// error encountered (tables already produced are still returned). The
+// context is checked between experiments and threaded into each one, so a
+// cancelled run stops at the next boundary; an obs.Tracker carried by the
+// context gets one timed stage per experiment.
+func RunAll(ctx context.Context) ([]*Table, error) {
+	tr := obs.FromContext(ctx)
 	var out []*Table
 	for _, e := range All() {
-		t, err := e.Run()
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		stage := tr.Stage(e.ID)
+		t, err := e.Run(ctx)
+		stage.End()
 		if err != nil {
 			return out, fmt.Errorf("%s: %w", e.ID, err)
 		}

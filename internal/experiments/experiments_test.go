@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 // TestAllExperimentsMatchPaper runs the entire harness and requires every
 // row of every table to match the paper's expectation.
 func TestAllExperimentsMatchPaper(t *testing.T) {
-	tables, err := RunAll()
+	tables, err := RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestAllExperimentsMatchPaper(t *testing.T) {
 }
 
 func TestRenderFormats(t *testing.T) {
-	tb, err := E1Figure1()
+	tb, err := E1Figure1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pseudosphere/internal/bounds"
@@ -17,7 +18,7 @@ import (
 // confirms that no k-set agreement map exists on the floor(f/k)-round
 // complex — the combinatorial half of the conjectured bound
 // floor(f/k)*d + C*d for f-resilient executions.
-func E13FResilientSemiSync() (*Table, error) {
+func E13FResilientSemiSync(ctx context.Context) (*Table, error) {
 	t := newTable("E13", "f-resilient semi-sync bound (paper's future work)",
 		"Section 8, closing remark",
 		"check", "instance", "holds")
@@ -48,7 +49,11 @@ func E13FResilientSemiSync() (*Table, error) {
 				return nil, err
 			}
 			target := m - (c.n - c.k) - 1
-			if !conn.IsKConnected(res.Complex, target) {
+			ok, err := conn.IsKConnectedCtx(ctx, res.Complex, target)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
 				allOK = false
 			}
 		}
@@ -66,7 +71,7 @@ func E13FResilientSemiSync() (*Table, error) {
 		return nil, err
 	}
 	ann := task.AnnotateViews(res.Complex, res.Views)
-	_, found, err := task.FindDecision(ann, 1, 0)
+	_, found, err := task.FindDecisionCtx(ctx, ann, 1, 0)
 	if err != nil {
 		return nil, err
 	}

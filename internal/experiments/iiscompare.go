@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pseudosphere/internal/asyncmodel"
@@ -20,7 +21,7 @@ import (
 // subdivision (Fubini-many facets), yet both are highly connected, both
 // obstruct wait-free consensus, and both admit a similarity chain from
 // the all-0 to the all-1 execution.
-func E14IISComparison() (*Table, error) {
+func E14IISComparison(ctx context.Context) (*Table, error) {
 	t := newTable("E14", "async message-passing round vs iterated immediate snapshot",
 		"Section 6 (comparison with [BG97]); Section 1 (similarity)",
 		"quantity", "expected", "measured")
@@ -42,9 +43,15 @@ func E14IISComparison() (*Table, error) {
 	// Connectivity: both single-input one-round complexes are highly
 	// connected (the IIS round is even contractible: it subdivides the
 	// input simplex).
-	mpConn := conn.IsKConnected(mp.Complex, 1)
+	mpConn, err := conn.IsKConnectedCtx(ctx, mp.Complex, 1)
+	if err != nil {
+		return nil, err
+	}
 	t.addRow(mpConn, "message-passing round 1-connected (Lemma 12, f=n)", "yes", boolStr(mpConn))
-	isBetti := conn.ReducedBettiZ2(is.Complex)
+	isBetti, err := conn.ReducedBettiZ2Ctx(ctx, is.Complex)
+	if err != nil {
+		return nil, err
+	}
 	contractible := true
 	for _, b := range isBetti {
 		if b != 0 {
@@ -59,7 +66,7 @@ func E14IISComparison() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, mpFound, err := task.FindDecision(task.AnnotateViews(mpIn.Complex, mpIn.Views), 1, 0)
+	_, mpFound, err := task.FindDecisionCtx(ctx, task.AnnotateViews(mpIn.Complex, mpIn.Views), 1, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +74,7 @@ func E14IISComparison() (*Table, error) {
 	for _, s := range core.InputFacets(1, binary) {
 		isIn.Merge(iis.OneRound(s))
 	}
-	_, isFound, err := task.FindDecision(task.AnnotateViews(isIn.Complex, isIn.Views), 1, 0)
+	_, isFound, err := task.FindDecisionCtx(ctx, task.AnnotateViews(isIn.Complex, isIn.Views), 1, 0)
 	if err != nil {
 		return nil, err
 	}

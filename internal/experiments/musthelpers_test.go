@@ -1,0 +1,16 @@
+package experiments
+
+import (
+	"pseudosphere/internal/core"
+	"pseudosphere/internal/topology"
+)
+
+// mustUniform is core.Uniform for statically-correct test inputs; it
+// panics on error.
+func mustUniform(base topology.Simplex, set []string) *topology.Complex {
+	c, err := core.Uniform(base, set)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

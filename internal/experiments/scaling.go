@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pseudosphere/internal/asyncmodel"
@@ -24,7 +25,7 @@ import (
 //
 // The sweep doubles as the repository's workload generator: the same
 // parameterizations back the benchmarks.
-func E15Scaling() (*Table, error) {
+func E15Scaling(ctx context.Context) (*Table, error) {
 	t := newTable("E15", "construction scaling across the parameter envelope",
 		"Lemmas 11, 14, 19 facet combinatorics; [BG97] Fubini counts",
 		"construction", "parameters", "closed form", "measured")
@@ -41,7 +42,7 @@ func E15Scaling() (*Table, error) {
 		params = append(params, asyncmodel.Params{N: 4, F: 3}, asyncmodel.Params{N: 4, F: 4})
 	}
 	for _, p := range params {
-		res, err := asyncmodel.OneRoundParallel(labeledInput(p.N), p, BuildWorkers())
+		res, err := asyncmodel.OneRoundParallelCtx(ctx, labeledInput(p.N), p, BuildWorkers())
 		if err != nil {
 			return nil, err
 		}

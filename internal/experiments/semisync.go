@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pseudosphere/internal/bounds"
@@ -12,7 +13,7 @@ import (
 
 // E9SemiSyncOneRound verifies Lemmas 19 and 20 on the semi-synchronous
 // one-round complex.
-func E9SemiSyncOneRound() (*Table, error) {
+func E9SemiSyncOneRound(ctx context.Context) (*Table, error) {
 	t := newTable("E9", "semi-sync pseudospheres and intersections", "Lemmas 19 and 20",
 		"check", "instance", "holds")
 	input := labeledInput(2)
@@ -76,7 +77,7 @@ func E9SemiSyncOneRound() (*Table, error) {
 // E10SemiSyncBound verifies Lemma 21 connectivity, the Corollary 22 time
 // bound table, and the stretching argument; it also runs the epoch
 // protocol to show the solvable side sits above the bound.
-func E10SemiSyncBound() (*Table, error) {
+func E10SemiSyncBound(ctx context.Context) (*Table, error) {
 	t := newTable("E10", "semi-sync connectivity and wait-free time bound",
 		"Lemma 21, Corollary 22",
 		"check", "paper", "measured")
@@ -94,7 +95,10 @@ func E10SemiSyncBound() (*Table, error) {
 			return nil, err
 		}
 		target := c.m - (c.n - c.k) - 1
-		ok := conn.IsKConnected(res.Complex, target)
+		ok, err := conn.IsKConnectedCtx(ctx, res.Complex, target)
+		if err != nil {
+			return nil, err
+		}
 		t.addRow(ok,
 			fmt.Sprintf("M^%d(S^%d), n=%d k=%d", c.r, c.m, c.n, c.k),
 			fmt.Sprintf("%d-connected (n>=(r+1)k)", target), boolStr(ok))

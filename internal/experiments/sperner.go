@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pseudosphere/internal/asyncmodel"
@@ -12,7 +13,7 @@ import (
 // E12Sperner exercises the engine behind Theorem 9: Sperner's Lemma on
 // barycentric subdivisions, and agreement between the Corollary 10
 // connectivity obstruction and the exact decision-map search.
-func E12Sperner() (*Table, error) {
+func E12Sperner(ctx context.Context) (*Table, error) {
 	t := newTable("E12", "Sperner engine and obstruction-vs-search agreement",
 		"Theorem 9, Corollary 10",
 		"check", "instance", "holds")
@@ -52,7 +53,7 @@ func E12Sperner() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, found, err := task.FindDecision(task.AnnotateViews(res.Complex, res.Views), 1, 0)
+	_, found, err := task.FindDecisionCtx(ctx, task.AnnotateViews(res.Complex, res.Views), 1, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +76,7 @@ func E12Sperner() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, found0, err := task.FindDecision(task.AnnotateViews(res0.Complex, res0.Views), 1, 0)
+	_, found0, err := task.FindDecisionCtx(ctx, task.AnnotateViews(res0.Complex, res0.Views), 1, 0)
 	if err != nil {
 		return nil, err
 	}

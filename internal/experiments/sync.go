@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pseudosphere/internal/bounds"
@@ -13,7 +14,7 @@ import (
 
 // E5SyncOneRound reproduces Figure 3 and verifies Lemma 14: the one-round
 // synchronous complex is the union of per-failure-set pseudospheres.
-func E5SyncOneRound() (*Table, error) {
+func E5SyncOneRound(ctx context.Context) (*Table, error) {
 	t := newTable("E5", "sync one-round union of pseudospheres", "Figure 3, Lemma 14",
 		"quantity", "paper", "measured")
 	input := labeledInput(2)
@@ -57,7 +58,7 @@ func E5SyncOneRound() (*Table, error) {
 
 // E6SyncIntersections verifies Lemma 15 along the full lexicographic
 // ordering of failure sets.
-func E6SyncIntersections() (*Table, error) {
+func E6SyncIntersections(ctx context.Context) (*Table, error) {
 	t := newTable("E6", "sync prefix intersections", "Lemma 15",
 		"processes", "k", "K_t checked", "all equal")
 	for _, c := range []struct {
@@ -92,7 +93,7 @@ func E6SyncIntersections() (*Table, error) {
 }
 
 // E7SyncConnectivity verifies Lemmas 16 and 17.
-func E7SyncConnectivity() (*Table, error) {
+func E7SyncConnectivity(ctx context.Context) (*Table, error) {
 	t := newTable("E7", "sync connectivity", "Lemmas 16 and 17",
 		"instance", "paper", "measured")
 	for _, c := range []struct {
@@ -110,7 +111,10 @@ func E7SyncConnectivity() (*Table, error) {
 			return nil, err
 		}
 		target := c.m - (c.n - c.k) - 1
-		ok := conn.IsKConnected(res.Complex, target)
+		ok, err := conn.IsKConnectedCtx(ctx, res.Complex, target)
+		if err != nil {
+			return nil, err
+		}
 		t.addRow(ok,
 			fmt.Sprintf("S^%d(S^%d), n=%d k=%d", c.r, c.m, c.n, c.k),
 			fmt.Sprintf("%d-connected (n>=rk+k)", target),
@@ -123,7 +127,7 @@ func E7SyncConnectivity() (*Table, error) {
 // on the executable substrate: below the bound the decision-map search
 // fails (and a too-short protocol breaks under some crash schedule); at
 // the bound the flooding protocol succeeds under EVERY crash schedule.
-func E8SyncBoundTable() (*Table, error) {
+func E8SyncBoundTable(ctx context.Context) (*Table, error) {
 	t := newTable("E8", "sync round bound, lower and upper", "Theorem 18",
 		"n", "f", "k", "bound (rounds)", "evidence")
 
@@ -148,7 +152,7 @@ func E8SyncBoundTable() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, found1, err := task.FindDecision(task.AnnotateViews(one.Complex, one.Views), 1, 0)
+	_, found1, err := task.FindDecisionCtx(ctx, task.AnnotateViews(one.Complex, one.Views), 1, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +162,7 @@ func E8SyncBoundTable() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, found2, err := task.FindDecision(task.AnnotateViews(two.Complex, two.Views), 1, 0)
+	_, found2, err := task.FindDecisionCtx(ctx, task.AnnotateViews(two.Complex, two.Views), 1, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +173,11 @@ func E8SyncBoundTable() (*Table, error) {
 	inputs := []string{"0", "1", "2"}
 	f := 1
 	okAll := true
-	for _, cs := range sim.EnumerateCrashSchedules(len(inputs), f, f+1) {
+	schedules, err := sim.EnumerateCrashSchedulesCtx(ctx, len(inputs), f, f+1)
+	if err != nil {
+		return nil, err
+	}
+	for _, cs := range schedules {
 		out, err := sim.RunSync(inputs, protocols.NewFloodSet(f), cs, f+2)
 		if err != nil {
 			return nil, err
@@ -182,7 +190,11 @@ func E8SyncBoundTable() (*Table, error) {
 
 	broke := false
 	short := protocols.NewSyncKSet(0, 1) // 1-round flooding, pretending f=0
-	for _, cs := range sim.EnumerateCrashSchedules(len(inputs), f, f) {
+	shortSchedules, err := sim.EnumerateCrashSchedulesCtx(ctx, len(inputs), f, f)
+	if err != nil {
+		return nil, err
+	}
+	for _, cs := range shortSchedules {
 		out, err := sim.RunSync(inputs, short, cs, f+1)
 		if err != nil {
 			return nil, err

@@ -11,7 +11,7 @@ func benchSphereProduct(labels int) *topology.Complex {
 	for a := 0; a < labels; a++ {
 		for b := 0; b < labels; b++ {
 			for d := 0; d < labels; d++ {
-				c.Add(topology.MustSimplex(
+				c.Add(mustSimplex(
 					topology.Vertex{P: 0, Label: string(rune('a' + a))},
 					topology.Vertex{P: 1, Label: string(rune('a' + b))},
 					topology.Vertex{P: 2, Label: string(rune('a' + d))},

@@ -1,6 +1,7 @@
 package homology
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -11,48 +12,90 @@ import (
 // makes each distinct complex pay for reduction exactly once. A Cache is
 // safe for concurrent use by any number of goroutines and may be shared
 // between engines.
+//
+// Concurrent requests for the same missing key are coalesced: the first
+// caller computes, later callers block on the in-flight computation
+// instead of duplicating the reduction (a cache stampede). Waiters are
+// counted separately from hits and misses.
 type Cache struct {
-	mu     sync.RWMutex
-	betti  map[string][]int
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	mu       sync.RWMutex
+	betti    map[string][]int
+	inflight map[string]*flight
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	waits    atomic.Uint64
+}
+
+// flight is one in-progress computation; betti and err are written before
+// done is closed and read only after.
+type flight struct {
+	done  chan struct{}
+	betti []int
+	err   error
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{betti: make(map[string][]int)}
+	return &Cache{
+		betti:    make(map[string][]int),
+		inflight: make(map[string]*flight),
+	}
 }
 
-// lookup returns a copy of the cached Betti numbers for the key, so that
-// callers (notably ReducedBettiZ2, which decrements b0 in place) can
-// never corrupt the cached value.
-func (c *Cache) lookup(key string) ([]int, bool) {
-	c.mu.RLock()
-	betti, ok := c.betti[key]
-	c.mu.RUnlock()
-	if !ok {
-		c.misses.Add(1)
-		return nil, false
+// do returns the cached Betti numbers for key, computing them with compute
+// on a miss. If another goroutine is already computing the same key, do
+// waits for that computation instead of starting its own — unless ctx
+// fires first, in which case ctx.Err() is returned. A compute error is
+// propagated to every waiter and nothing is stored, so a later call
+// retries. The returned slice is owned by the caller.
+func (c *Cache) do(ctx context.Context, key string, compute func() ([]int, error)) ([]int, error) {
+	c.mu.Lock()
+	if c.betti == nil {
+		c.betti = make(map[string][]int)
 	}
-	c.hits.Add(1)
-	if betti == nil {
-		return nil, true
+	if c.inflight == nil {
+		c.inflight = make(map[string]*flight)
 	}
-	out := make([]int, len(betti))
-	copy(out, betti)
-	return out, true
-}
+	if betti, ok := c.betti[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return copyBetti(betti), nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.waits.Add(1)
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, f.err
+			}
+			return copyBetti(f.betti), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+	c.misses.Add(1)
 
-// store records a private copy of the Betti numbers for the key.
-func (c *Cache) store(key string, betti []int) {
+	betti, err := compute()
+	// f.betti is shared with waiters while the compute's return value is
+	// handed to this caller, which may mutate it (ReducedBettiZ2 decrements
+	// b0 in place) — so the flight and the cache keep a private copy.
 	var cp []int
-	if betti != nil {
-		cp = make([]int, len(betti))
-		copy(cp, betti)
+	if err == nil {
+		cp = copyBetti(betti)
 	}
 	c.mu.Lock()
-	c.betti[key] = cp
+	delete(c.inflight, key)
+	if err == nil {
+		c.betti[key] = cp
+	}
 	c.mu.Unlock()
+	f.betti, f.err = cp, err
+	close(f.done)
+	return betti, err
 }
 
 // Len returns the number of distinct complexes cached.
@@ -65,4 +108,19 @@ func (c *Cache) Len() int {
 // Stats returns the hit and miss counters and the entry count.
 func (c *Cache) Stats() (hits, misses uint64, entries int) {
 	return c.hits.Load(), c.misses.Load(), c.Len()
+}
+
+// Waits returns how many lookups blocked on another goroutine's in-flight
+// computation of the same key instead of recomputing it.
+func (c *Cache) Waits() uint64 {
+	return c.waits.Load()
+}
+
+func copyBetti(betti []int) []int {
+	if betti == nil {
+		return nil
+	}
+	out := make([]int, len(betti))
+	copy(out, betti)
+	return out
 }

@@ -1,0 +1,120 @@
+package homology
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheSingleflightOneComputePerKey hammers a single key from many
+// goroutines released together and requires exactly one compute: the
+// stampede that motivated the singleflight rewrite had every concurrent
+// miss run its own reduction before any of them could store.
+func TestCacheSingleflightOneComputePerKey(t *testing.T) {
+	c := NewCache()
+	var computes atomic.Int64
+	const waiters = 32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	bettis := make([][]int, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			b, err := c.do(context.Background(), "k", func() ([]int, error) {
+				computes.Add(1)
+				return []int{1, 0, 1}, nil
+			})
+			bettis[i], errs[i] = b, err
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times for one key, want exactly 1", n)
+	}
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if len(bettis[i]) != 3 || bettis[i][0] != 1 || bettis[i][2] != 1 {
+			t.Fatalf("waiter %d got %v", i, bettis[i])
+		}
+	}
+	hits, misses, entries := c.Stats()
+	if misses != 1 || entries != 1 {
+		t.Fatalf("stats: hits=%d misses=%d entries=%d, want one miss and one entry", hits, misses, entries)
+	}
+}
+
+// TestCacheWaitersGetPrivateCopies checks that a waiter mutating its
+// result (as ReducedBettiZ2 does in place) cannot corrupt the cached
+// entry or another waiter's slice.
+func TestCacheWaitersGetPrivateCopies(t *testing.T) {
+	c := NewCache()
+	b1, err := c.do(context.Background(), "k", func() ([]int, error) { return []int{5, 7}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1[0] = -99
+	b2, err := c.do(context.Background(), "k", func() ([]int, error) {
+		t.Fatal("cache hit recomputed")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2[0] != 5 || b2[1] != 7 {
+		t.Fatalf("cached entry corrupted by caller mutation: %v", b2)
+	}
+	b2[1] = -1
+	b3, _ := c.do(context.Background(), "k", func() ([]int, error) { return nil, nil })
+	if b3[1] != 7 {
+		t.Fatalf("cached entry shared with hit: %v", b3)
+	}
+}
+
+// TestCacheComputeErrorNotCached verifies that a failed compute reaches
+// every waiter of that flight but is retried by the next caller.
+func TestCacheComputeErrorNotCached(t *testing.T) {
+	c := NewCache()
+	boom := errors.New("boom")
+	if _, err := c.do(context.Background(), "k", func() ([]int, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	b, err := c.do(context.Background(), "k", func() ([]int, error) { return []int{1}, nil })
+	if err != nil || len(b) != 1 {
+		t.Fatalf("retry after error failed: %v %v", b, err)
+	}
+}
+
+// TestCacheWaiterCancellation verifies a waiter blocked on another
+// goroutine's in-flight compute honors its own context.
+func TestCacheWaiterCancellation(t *testing.T) {
+	c := NewCache()
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.do(context.Background(), "k", func() ([]int, error) {
+			close(computing)
+			<-release
+			return []int{1}, nil
+		})
+	}()
+	<-computing
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.do(ctx, "k", func() ([]int, error) {
+		t.Error("second compute started while first in flight")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	close(release)
+}

@@ -27,7 +27,7 @@ func diffInput(m int) topology.Simplex {
 	for i := range vs {
 		vs[i] = topology.Vertex{P: i, Label: string(rune('a' + i))}
 	}
-	return topology.MustSimplex(vs...)
+	return mustSimplex(vs...)
 }
 
 // diffInstances enumerates the generated complexes the differential suite
@@ -51,10 +51,10 @@ func diffInstances(t *testing.T) map[string]*topology.Complex {
 	binary := []string{"0", "1"}
 	ternary := []string{"0", "1", "2"}
 	for n := 1; n <= 3; n++ {
-		out[fmt.Sprintf("psi(S^%d;binary)", n)] = core.MustUniform(core.ProcessSimplex(n), binary)
+		out[fmt.Sprintf("psi(S^%d;binary)", n)] = mustUniform(core.ProcessSimplex(n), binary)
 	}
-	out["psi(S^1;ternary)"] = core.MustUniform(core.ProcessSimplex(1), ternary)
-	out["psi(S^2;ternary)"] = core.MustUniform(core.ProcessSimplex(2), ternary)
+	out["psi(S^1;ternary)"] = mustUniform(core.ProcessSimplex(1), ternary)
+	out["psi(S^2;ternary)"] = mustUniform(core.ProcessSimplex(2), ternary)
 
 	// Round complexes of the three timing models.
 	for _, c := range []struct {
@@ -86,7 +86,7 @@ func diffInstances(t *testing.T) map[string]*topology.Complex {
 
 	// Derived subcomplexes of the kind the Mayer–Vietoris experiments
 	// query: unions, intersections, skeleta, links.
-	sphere := core.MustUniform(core.ProcessSimplex(2), binary)
+	sphere := mustUniform(core.ProcessSimplex(2), binary)
 	k := sphere.Restriction(func(v topology.Vertex) bool { return v.P != 2 || v.Label == "0" })
 	l := sphere.Restriction(func(v topology.Vertex) bool { return v.P != 2 || v.Label == "1" })
 	out["MV: K"] = k
@@ -166,7 +166,7 @@ func TestDifferentialRandomComplexes(t *testing.T) {
 			if len(vs) == 0 {
 				continue
 			}
-			c.Add(topology.MustSimplex(vs...))
+			c.Add(mustSimplex(vs...))
 		}
 		want := homology.BettiZ2(c)
 		for ename, e := range engines {

@@ -31,7 +31,7 @@ func engineVariants() map[string]*Engine {
 // each complex twice so cached configurations also exercise the hit path.
 func TestEngineMatchesSerialOnKnownComplexes(t *testing.T) {
 	fixtures := map[string]*topology.Complex{
-		"point":      topology.ComplexOf(topology.MustSimplex(v(0, "a"))),
+		"point":      topology.ComplexOf(mustSimplex(v(0, "a"))),
 		"two points": twoPointComplex(),
 		"circle":     hollowTriangle(),
 		"disk":       solidTriangle(),
@@ -136,10 +136,10 @@ func TestRankOfAgreesAcrossWorkerCounts(t *testing.T) {
 	for d := 1; d <= cc.Dim(); d++ {
 		want := cc.boundaryZ2(d).rank()
 		for _, workers := range []int{1, 2, 3, 8} {
-			if got := rankOf(cc.boundaryZ2(d), workers); got != want {
+			if got := rankOf(cc.boundaryZ2(d), workers, nil); got != want {
 				t.Fatalf("sparse d=%d workers=%d: rank %d, want %d", d, workers, got, want)
 			}
-			if got := rankOf(cc.boundaryBitset(d), workers); got != want {
+			if got := rankOf(cc.boundaryBitset(d), workers, nil); got != want {
 				t.Fatalf("bitset d=%d workers=%d: rank %d, want %d", d, workers, got, want)
 			}
 		}

@@ -11,15 +11,15 @@ func v(p int, label string) topology.Vertex { return topology.Vertex{P: p, Label
 // hollowTriangle is the boundary of a triangle: a circle.
 func hollowTriangle() *topology.Complex {
 	c := topology.NewComplex()
-	c.Add(topology.MustSimplex(v(0, "a"), v(1, "b")))
-	c.Add(topology.MustSimplex(v(1, "b"), v(2, "c")))
-	c.Add(topology.MustSimplex(v(0, "a"), v(2, "c")))
+	c.Add(mustSimplex(v(0, "a"), v(1, "b")))
+	c.Add(mustSimplex(v(1, "b"), v(2, "c")))
+	c.Add(mustSimplex(v(0, "a"), v(2, "c")))
 	return c
 }
 
 // hollowTetrahedron is the boundary of a 3-simplex: a 2-sphere.
 func hollowTetrahedron() *topology.Complex {
-	full := topology.MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"), v(3, "d"))
+	full := mustSimplex(v(0, "a"), v(1, "b"), v(2, "c"), v(3, "d"))
 	c := topology.NewComplex()
 	for i := 0; i < 4; i++ {
 		c.Add(full.Face(i))
@@ -28,11 +28,11 @@ func hollowTetrahedron() *topology.Complex {
 }
 
 func solidTriangle() *topology.Complex {
-	return topology.ComplexOf(topology.MustSimplex(v(0, "a"), v(1, "b"), v(2, "c")))
+	return topology.ComplexOf(mustSimplex(v(0, "a"), v(1, "b"), v(2, "c")))
 }
 
 func TestBettiPoint(t *testing.T) {
-	c := topology.ComplexOf(topology.MustSimplex(v(0, "a")))
+	c := topology.ComplexOf(mustSimplex(v(0, "a")))
 	got := BettiZ2(c)
 	if len(got) != 1 || got[0] != 1 {
 		t.Fatalf("betti(point) = %v, want [1]", got)
@@ -40,7 +40,7 @@ func TestBettiPoint(t *testing.T) {
 }
 
 func TestBettiTwoPoints(t *testing.T) {
-	c := topology.ComplexOf(topology.MustSimplex(v(0, "a")), topology.MustSimplex(v(0, "b")))
+	c := topology.ComplexOf(mustSimplex(v(0, "a")), mustSimplex(v(0, "b")))
 	if got := BettiZ2(c); got[0] != 2 {
 		t.Fatalf("betti = %v, want b0=2", got)
 	}
@@ -139,7 +139,7 @@ func TestGraphConnectedMatchesHomology(t *testing.T) {
 		hollowTriangle(),
 		hollowTetrahedron(),
 		solidTriangle(),
-		topology.ComplexOf(topology.MustSimplex(v(0, "a")), topology.MustSimplex(v(0, "b"))),
+		topology.ComplexOf(mustSimplex(v(0, "a")), mustSimplex(v(0, "b"))),
 	}
 	for i, c := range cases {
 		if IsGraphConnected(c) != IsKConnected(c, 0) {
@@ -165,10 +165,10 @@ func TestMayerVietorisOnCircleDecomposition(t *testing.T) {
 	// hypothesis at conn=0 fails (intersection disconnected), and indeed
 	// the union is 0- but not 1-connected.
 	upper := topology.ComplexOf(
-		topology.MustSimplex(v(0, "a"), v(1, "b")),
-		topology.MustSimplex(v(1, "b"), v(2, "c")),
+		mustSimplex(v(0, "a"), v(1, "b")),
+		mustSimplex(v(1, "b"), v(2, "c")),
 	)
-	lower := topology.ComplexOf(topology.MustSimplex(v(0, "a"), v(2, "c")))
+	lower := topology.ComplexOf(mustSimplex(v(0, "a"), v(2, "c")))
 	hyp, concl := VerifyMayerVietoris(upper, lower, 1)
 	if hyp {
 		t.Fatal("hypothesis should fail: intersection is two points, not 0-connected")

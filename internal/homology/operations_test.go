@@ -13,7 +13,7 @@ func TestConeIsContractible(t *testing.T) {
 	for name, c := range map[string]*topology.Complex{
 		"circle":     hollowTriangle(),
 		"sphere":     hollowTetrahedron(),
-		"two points": topology.ComplexOf(topology.MustSimplex(v(0, "a")), topology.MustSimplex(v(0, "b"))),
+		"two points": topology.ComplexOf(mustSimplex(v(0, "a")), mustSimplex(v(0, "b"))),
 	} {
 		cone, err := topology.Cone(c, topology.Vertex{P: 9, Label: "apex"})
 		if err != nil {
@@ -64,7 +64,7 @@ func TestSuspensionShiftsHomology(t *testing.T) {
 }
 
 func twoPointComplex() *topology.Complex {
-	return topology.ComplexOf(topology.MustSimplex(v(0, "a")), topology.MustSimplex(v(0, "b")))
+	return topology.ComplexOf(mustSimplex(v(0, "a")), mustSimplex(v(0, "b")))
 }
 
 // TestComponentsMatchB0 property-checks that the number of connected
@@ -75,7 +75,7 @@ func TestComponentsMatchB0(t *testing.T) {
 		for _, e := range edges {
 			a := topology.Vertex{P: 0, Label: string(rune('a' + e[0]%4))}
 			b := topology.Vertex{P: 1, Label: string(rune('a' + e[1]%4))}
-			c.Add(topology.MustSimplex(a, b))
+			c.Add(mustSimplex(a, b))
 		}
 		return len(c.ConnectedComponents()) == BettiZ2(c)[0]
 	}
@@ -90,14 +90,14 @@ func TestEulerCharacteristicMatchesBetti(t *testing.T) {
 	prop := func(tris [3][3]uint8, edges [3][2]uint8) bool {
 		c := topology.NewComplex()
 		for _, tr := range tris {
-			c.Add(topology.MustSimplex(
+			c.Add(mustSimplex(
 				topology.Vertex{P: 0, Label: string(rune('a' + tr[0]%3))},
 				topology.Vertex{P: 1, Label: string(rune('a' + tr[1]%3))},
 				topology.Vertex{P: 2, Label: string(rune('a' + tr[2]%3))},
 			))
 		}
 		for _, e := range edges {
-			c.Add(topology.MustSimplex(
+			c.Add(mustSimplex(
 				topology.Vertex{P: 0, Label: string(rune('a' + e[0]%3))},
 				topology.Vertex{P: 1, Label: string(rune('a' + e[1]%3))},
 			))
@@ -125,7 +125,7 @@ func TestMayerVietorisPropertyOnPseudosphereUnions(t *testing.T) {
 		build := func(edges [4][2]uint8) *topology.Complex {
 			c := topology.NewComplex()
 			for _, e := range edges {
-				c.Add(topology.MustSimplex(
+				c.Add(mustSimplex(
 					topology.Vertex{P: 0, Label: string(rune('a' + e[0]%3))},
 					topology.Vertex{P: 1, Label: string(rune('a' + e[1]%3))},
 				))

@@ -1,9 +1,12 @@
 package homology
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"pseudosphere/internal/obs"
 	"pseudosphere/internal/topology"
 )
 
@@ -35,11 +38,16 @@ func (m *sparseZ2Matrix) addInto(dst, src int) {
 // given columns. Every addition cancels against a column from the same
 // set, so concurrent calls on disjoint column sets never share mutable
 // state. It returns the indices of the surviving (independent) columns;
-// their count is the GF(2) rank of the submatrix they span.
-func reduceColumns(m z2store, js []int) []int {
+// their count is the GF(2) rank of the submatrix they span. A non-nil
+// cancelled flag is probed once per column; on cancellation the partial
+// survivor list is returned and the caller discards it.
+func reduceColumns(m z2store, js []int, cancelled *atomic.Bool) []int {
 	lowOwner := make(map[int]int, len(js))
 	out := make([]int, 0, len(js))
 	for _, j := range js {
+		if cancelled != nil && cancelled.Load() {
+			return out
+		}
 		for {
 			low := m.lowOf(j)
 			if low < 0 {
@@ -69,7 +77,9 @@ const minParallelColumns = 256
 // matrix, and a final serial pass over the survivors yields the rank.
 // Rank is a basis-independent invariant, so the result is identical for
 // every worker count — the determinism guarantee the engine advertises.
-func rankOf(m z2store, workers int) int {
+// A non-nil cancelled flag aborts the reduction early; the returned rank
+// is then meaningless and the caller must not use it.
+func rankOf(m z2store, workers int, cancelled *atomic.Bool) int {
 	n := m.numCols()
 	if n == 0 {
 		return 0
@@ -83,7 +93,7 @@ func rankOf(m z2store, workers int) int {
 		for i := range js {
 			js[i] = i
 		}
-		return len(reduceColumns(m, js))
+		return len(reduceColumns(m, js, cancelled))
 	}
 	survivors := make([][]int, chunks)
 	var wg sync.WaitGroup
@@ -96,7 +106,7 @@ func rankOf(m z2store, workers int) int {
 			for i := range js {
 				js[i] = lo + i
 			}
-			survivors[ci] = reduceColumns(m, js)
+			survivors[ci] = reduceColumns(m, js, cancelled)
 		}(ci, lo, hi)
 	}
 	wg.Wait()
@@ -104,7 +114,7 @@ func rankOf(m z2store, workers int) int {
 	for _, s := range survivors {
 		merged = append(merged, s...)
 	}
-	return len(reduceColumns(m, merged))
+	return len(reduceColumns(m, merged, cancelled))
 }
 
 // Engine is the parallel, optionally memoized homology engine. The zero
@@ -156,71 +166,111 @@ func (e *Engine) workers() int {
 // memoized when the engine has a cache. The returned slice is owned by
 // the caller.
 func (e *Engine) BettiZ2(c *topology.Complex) []int {
-	if e.cache == nil {
-		return e.computeBetti(c)
-	}
-	key := c.CanonicalHash()
-	if betti, ok := e.cache.lookup(key); ok {
-		return betti
-	}
-	betti := e.computeBetti(c)
-	e.cache.store(key, betti)
+	betti, _ := e.BettiZ2Ctx(context.Background(), c)
 	return betti
+}
+
+// BettiZ2Ctx is BettiZ2 threaded with a context: the reduction workers
+// probe cancellation once per column and the call returns ctx.Err() once
+// it fires (nothing is cached for an aborted computation). Concurrent
+// calls for the same uncached complex are coalesced by the cache — one
+// computes, the rest wait — and an obs.Tracker carried by the context has
+// its "columns" counter bumped per reduced boundary matrix.
+func (e *Engine) BettiZ2Ctx(ctx context.Context, c *topology.Complex) ([]int, error) {
+	if e.cache == nil {
+		return e.computeBetti(ctx, c)
+	}
+	return e.cache.do(ctx, c.CanonicalHash(), func() ([]int, error) {
+		return e.computeBetti(ctx, c)
+	})
 }
 
 // ReducedBettiZ2 mirrors the package-level ReducedBettiZ2 on the engine.
 func (e *Engine) ReducedBettiZ2(c *topology.Complex) []int {
-	betti := e.BettiZ2(c)
-	if len(betti) == 0 {
-		return nil
+	betti, _ := e.ReducedBettiZ2Ctx(context.Background(), c)
+	return betti
+}
+
+// ReducedBettiZ2Ctx is ReducedBettiZ2 with cancellation; see BettiZ2Ctx.
+func (e *Engine) ReducedBettiZ2Ctx(ctx context.Context, c *topology.Complex) ([]int, error) {
+	betti, err := e.BettiZ2Ctx(ctx, c)
+	if err != nil || len(betti) == 0 {
+		return nil, err
 	}
 	betti[0]--
-	return betti
+	return betti, nil
 }
 
 // IsKConnected mirrors the package-level IsKConnected on the engine.
 func (e *Engine) IsKConnected(c *topology.Complex, k int) bool {
+	ok, _ := e.IsKConnectedCtx(context.Background(), c, k)
+	return ok
+}
+
+// IsKConnectedCtx is IsKConnected with cancellation; see BettiZ2Ctx.
+func (e *Engine) IsKConnectedCtx(ctx context.Context, c *topology.Complex, k int) (bool, error) {
 	if k < -1 {
-		return true
+		return true, nil
 	}
 	if c.IsEmpty() {
-		return false
+		return false, nil
 	}
 	if k == -1 {
-		return true
+		return true, nil
 	}
-	betti := e.ReducedBettiZ2(c)
+	betti, err := e.ReducedBettiZ2Ctx(ctx, c)
+	if err != nil {
+		return false, err
+	}
 	for d := 0; d <= k && d < len(betti); d++ {
 		if betti[d] != 0 {
-			return false
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 // Connectivity mirrors the package-level Connectivity on the engine.
 func (e *Engine) Connectivity(c *topology.Complex) int {
+	k, _ := e.ConnectivityCtx(context.Background(), c)
+	return k
+}
+
+// ConnectivityCtx is Connectivity with cancellation; see BettiZ2Ctx.
+func (e *Engine) ConnectivityCtx(ctx context.Context, c *topology.Complex) (int, error) {
 	if c.IsEmpty() {
-		return -2
+		return -2, nil
 	}
-	betti := e.ReducedBettiZ2(c)
+	betti, err := e.ReducedBettiZ2Ctx(ctx, c)
+	if err != nil {
+		return 0, err
+	}
 	k := -1
 	for d := 0; d < len(betti); d++ {
 		if betti[d] != 0 {
-			return k
+			return k, nil
 		}
 		k = d
 	}
-	return k
+	return k, nil
 }
 
 // computeBetti builds the chain complex and reduces the boundary matrices
 // of all dimensions concurrently, each sharded across the worker budget.
-func (e *Engine) computeBetti(c *topology.Complex) []int {
+// A cancellable context plants a flag the column reductions probe; on
+// cancellation the partial ranks are discarded and ctx.Err() is returned.
+func (e *Engine) computeBetti(ctx context.Context, c *topology.Complex) ([]int, error) {
 	cc := NewChainComplex(c)
 	if cc.dim < 0 {
-		return nil
+		return nil, nil
 	}
+	var cancelled *atomic.Bool
+	if ctx.Done() != nil {
+		cancelled = new(atomic.Bool)
+		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
+		defer stop()
+	}
+	colCtr := obs.FromContext(ctx).Counter("columns")
 	w := e.workers()
 	ranks := make([]int, cc.dim+2) // ∂_0 and ∂_{dim+1} are zero
 	var wg sync.WaitGroup
@@ -228,20 +278,26 @@ func (e *Engine) computeBetti(c *topology.Complex) []int {
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			ranks[d] = e.rank(cc, d, w)
+			ranks[d] = e.rank(cc, d, w, cancelled)
+			colCtr.Add(uint64(cc.Count(d)))
 		}(d)
 	}
 	wg.Wait()
+	if cancelled != nil && cancelled.Load() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	betti := make([]int, cc.dim+1)
 	for d := 0; d <= cc.dim; d++ {
 		betti[d] = cc.Count(d) - ranks[d] - ranks[d+1]
 	}
-	return betti
+	return betti, nil
 }
 
 // rank reduces ∂_d with the representation the density heuristic (or the
 // Force override) selects.
-func (e *Engine) rank(cc *ChainComplex, d, workers int) int {
+func (e *Engine) rank(cc *ChainComplex, d, workers int, cancelled *atomic.Bool) int {
 	if cc.Count(d) == 0 {
 		return 0
 	}
@@ -252,5 +308,5 @@ func (e *Engine) rank(cc *ChainComplex, d, workers int) int {
 	} else {
 		m = cc.boundaryZ2(d)
 	}
-	return rankOf(m, workers)
+	return rankOf(m, workers, cancelled)
 }

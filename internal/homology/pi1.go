@@ -61,9 +61,11 @@ func Pi1Trivial(c *topology.Complex) (trivial, conclusive bool) {
 	// g(uv) * g(vw) * g(uw)^-1 = 1, with tree edges the identity.
 	var relations [][]int
 	for _, t := range c.Simplices(2) {
-		uv := topology.MustSimplex(t[0], t[1])
-		vw := topology.MustSimplex(t[1], t[2])
-		uw := topology.MustSimplex(t[0], t[2])
+		// t is a valid simplex with vertices in ascending process-id
+		// order, so its vertex pairs are valid edges as-is.
+		uv := topology.Simplex{t[0], t[1]}
+		vw := topology.Simplex{t[1], t[2]}
+		uw := topology.Simplex{t[0], t[2]}
 		var word []int
 		appendGen := func(e topology.Simplex, sign int) {
 			if inTree[e.Key()] {

@@ -22,7 +22,7 @@ func inputSimplex(labels ...string) topology.Simplex {
 	for i, l := range labels {
 		vs[i] = topology.Vertex{P: i, Label: l}
 	}
-	return topology.MustSimplex(vs...)
+	return mustSimplex(vs...)
 }
 
 // facetFromRun converts a run's decisions (encoded views) into a simplex.

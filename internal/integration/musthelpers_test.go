@@ -1,0 +1,15 @@
+package integration
+
+import (
+	"pseudosphere/internal/topology"
+)
+
+// mustSimplex is topology.NewSimplex for statically-correct test
+// inputs; it panics on error so call sites stay one-line literals.
+func mustSimplex(vs ...topology.Vertex) topology.Simplex {
+	s, err := topology.NewSimplex(vs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTrackerIsInert(t *testing.T) {
+	var tr *Tracker
+	c := tr.Counter("x")
+	c.Add(5)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("nil counter loaded %d", got)
+	}
+	s := tr.Stage("s")
+	s.Meta("k", 1).End()
+	tr.SetGoal("x", 10)
+	if tr.Counters() != nil {
+		t.Fatal("nil tracker returned counters")
+	}
+	tr.StartProgress(io.Discard, time.Second).Stop()
+	tr.PublishExpvar("obs_test_nil", "")
+	rep := tr.Snapshot("t")
+	if rep == nil || rep.Tool != "t" {
+		t.Fatalf("nil tracker snapshot: %+v", rep)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := tr.Counter("facets")
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Counter("facets").Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestStageAndReport(t *testing.T) {
+	tr := NewTracker()
+	s := tr.Stage("build").Meta("facets", 42)
+	tr.Counter("schedules").Add(7)
+	s.End()
+	s.End() // idempotent
+	rep := tr.Snapshot("test")
+	if len(rep.Stages) != 1 || rep.Stages[0].Name != "build" {
+		t.Fatalf("stages: %+v", rep.Stages)
+	}
+	if rep.Stages[0].Meta["facets"] != 42 {
+		t.Fatalf("meta: %+v", rep.Stages[0].Meta)
+	}
+	if rep.Counters["schedules"] != 7 {
+		t.Fatalf("counters: %+v", rep.Counters)
+	}
+
+	path := t.TempDir() + "/report.json"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "test" || back.Counters["schedules"] != 7 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestProgressReporter(t *testing.T) {
+	tr := NewTracker()
+	tr.SetGoal("facets", 100)
+	stage := tr.Stage("enumerate")
+	tr.Counter("facets").Add(50)
+	var buf syncBuffer
+	r := tr.StartProgress(&buf, 100*time.Millisecond)
+	time.Sleep(250 * time.Millisecond)
+	r.Stop()
+	r.Stop() // idempotent
+	stage.End()
+	out := buf.String()
+	if !strings.Contains(out, "facets=50/100") || !strings.Contains(out, "enumerate") {
+		t.Fatalf("progress output:\n%s", out)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("background context carried a tracker")
+	}
+	tr := NewTracker()
+	ctx := WithTracker(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("tracker lost in context")
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	tr := NewTracker()
+	tr.Counter("hits").Add(3)
+	tr.PublishExpvar("obs_test_counters", "obs_test_stages")
+	tr.PublishExpvar("obs_test_counters", "obs_test_stages") // no panic on re-publish
+
+	ds, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ds.Addr, path))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/vars" && !bytes.Contains(body, []byte("obs_test_counters")) {
+			t.Fatalf("expvar output missing counters:\n%s", body)
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for the reporter goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

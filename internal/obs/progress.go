@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Reporter periodically renders the tracker's counters — with rates, and
+// percent/ETA for counters that declared a goal — to a writer, one line
+// per tick. Progress is sampled, not pushed: the hot loops only bump
+// atomic counters, and the reporter goroutine does all formatting, so
+// enabling progress costs the enumerations nothing.
+type Reporter struct {
+	t        *Tracker
+	w        io.Writer
+	interval time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu   sync.Mutex
+	last map[string]uint64
+	prev time.Time
+}
+
+// StartProgress launches a reporter printing every interval (minimum
+// 100ms; 0 selects 1s) until Stop. A nil tracker returns a nil reporter
+// whose Stop no-ops, so -progress plumbing needs no conditionals.
+func (t *Tracker) StartProgress(w io.Writer, interval time.Duration) *Reporter {
+	if t == nil || w == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	r := &Reporter{
+		t:        t,
+		w:        w,
+		interval: interval,
+		stop:     make(chan struct{}),
+		last:     make(map[string]uint64),
+		prev:     time.Now(),
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		tick := time.NewTicker(r.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-tick.C:
+				r.emit()
+			}
+		}
+	}()
+	return r
+}
+
+// Stop halts the reporter after emitting one final line, and waits for
+// the goroutine to exit. Safe on a nil receiver and safe to call twice.
+func (r *Reporter) Stop() {
+	if r == nil {
+		return
+	}
+	select {
+	case <-r.stop:
+		return // already stopped
+	default:
+	}
+	r.emit()
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// emit renders one progress line.
+func (r *Reporter) emit() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	dt := now.Sub(r.prev).Seconds()
+	if dt <= 0 {
+		dt = 1
+	}
+	counts := r.t.Counters()
+	names := r.t.sortedNames()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%8s]", time.Since(r.t.start).Round(100*time.Millisecond))
+	if stage := r.t.currentStage(); stage != "" {
+		fmt.Fprintf(&b, " %s:", stage)
+	}
+	r.t.mu.Lock()
+	goals := make(map[string]goal, len(r.t.goals))
+	for k, v := range r.t.goals {
+		goals[k] = v
+	}
+	r.t.mu.Unlock()
+	for _, name := range names {
+		cur := counts[name]
+		rate := float64(cur-r.last[name]) / dt
+		fmt.Fprintf(&b, " %s=%d", name, cur)
+		if g, ok := goals[name]; ok && g.total > 0 {
+			fmt.Fprintf(&b, "/%d (%.1f%%)", g.total, 100*float64(cur)/float64(g.total))
+			if rate > 0 && cur < g.total {
+				eta := time.Duration(float64(g.total-cur)/rate) * time.Second
+				fmt.Fprintf(&b, " eta=%s", eta.Round(time.Second))
+			}
+		}
+		if rate > 0 {
+			fmt.Fprintf(&b, " (%.0f/s)", rate)
+		}
+		r.last[name] = cur
+	}
+	r.prev = now
+	fmt.Fprintln(r.w, b.String())
+}

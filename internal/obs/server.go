@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is a live pprof+expvar endpoint for a long-running
+// enumeration, started by the cmd tools' -debug-addr flag.
+type DebugServer struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebugServer listens on addr and serves:
+//
+//	/debug/vars          — expvar (including counters published with
+//	                       PublishExpvar)
+//	/debug/pprof/...     — the standard pprof index, profile, trace,
+//	                       symbol, and cmdline endpoints
+//
+// The server runs on its own mux, not http.DefaultServeMux, so it
+// exposes nothing else. Close releases the listener.
+func StartDebugServer(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ds := &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ds, nil
+}
+
+// Close shuts the server down and releases the listener. Safe on a nil
+// receiver.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -5,6 +5,8 @@
 package pc
 
 import (
+	"sort"
+
 	"pseudosphere/internal/topology"
 	"pseudosphere/internal/views"
 )
@@ -25,13 +27,18 @@ func NewResult() *Result {
 }
 
 // AddFacet records the global state given by one view per process as a
-// simplex (plus all faces) and returns it.
+// simplex (plus all faces) and returns it. The views may arrive in any
+// order (the IIS constructor emits them in partition-block order) but
+// must have distinct process ids, as any global state does.
 func (r *Result) AddFacet(vs []*views.View) topology.Simplex {
-	verts := make([]topology.Vertex, len(vs))
+	s := make(topology.Simplex, len(vs))
 	for i, v := range vs {
-		verts[i] = topology.Vertex{P: v.P, Label: v.Encode()}
+		s[i] = topology.Vertex{P: v.P, Label: v.Encode()}
+		r.Views[s[i]] = v
 	}
-	return r.AddFacetVertices(verts, vs)
+	sort.Slice(s, func(i, j int) bool { return s[i].P < s[j].P })
+	r.Complex.Add(s)
+	return s
 }
 
 // AddFacetVertices is AddFacet with the vertex encodings already built:
@@ -42,7 +49,12 @@ func (r *Result) AddFacetVertices(verts []topology.Vertex, vs []*views.View) top
 	for i, v := range vs {
 		r.Views[verts[i]] = v
 	}
-	s := topology.MustSimplex(verts...)
+	// verts comes from the constructors' per-position option tables, one
+	// option per participant in ascending process-id order, so the slice
+	// is already a valid chromatic simplex; copy it (callers reuse the
+	// backing array facet by facet) and skip re-validation.
+	s := make(topology.Simplex, len(verts))
+	copy(s, verts)
 	r.Complex.Add(s)
 	return s
 }

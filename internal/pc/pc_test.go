@@ -39,7 +39,7 @@ func TestMergeDeduplicates(t *testing.T) {
 }
 
 func TestInputViews(t *testing.T) {
-	s := topology.MustSimplex(
+	s := mustSimplex(
 		topology.Vertex{P: 0, Label: "u"},
 		topology.Vertex{P: 2, Label: "w"},
 	)

@@ -1,10 +1,12 @@
 package semisync
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"pseudosphere/internal/obs"
 	"pseudosphere/internal/pc"
 	"pseudosphere/internal/topology"
 	"pseudosphere/internal/views"
@@ -28,6 +30,12 @@ func OneRoundParallel(input topology.Simplex, p Params, workers int) (*pc.Result
 	return RoundsParallel(input, p, 1, workers)
 }
 
+// OneRoundParallelCtx is OneRoundParallel with cooperative cancellation:
+// see RoundsParallelCtx.
+func OneRoundParallelCtx(ctx context.Context, input topology.Simplex, p Params, workers int) (*pc.Result, error) {
+	return RoundsParallelCtx(ctx, input, p, 1, workers)
+}
+
 // RoundsParallel is Rounds with the first round's work split across a
 // worker pool. The dispatcher enumerates (failure set, pattern) branches
 // and builds each branch's option table serially (that cost is per option,
@@ -35,14 +43,28 @@ func OneRoundParallel(input topology.Simplex, p Params, workers int) (*pc.Result
 // jobs. Workers close faces into private complexes merged at the end, so
 // the result is independent of worker count and scheduling.
 func RoundsParallel(input topology.Simplex, p Params, r int, workers int) (*pc.Result, error) {
+	return RoundsParallelCtx(context.Background(), input, p, r, workers)
+}
+
+// RoundsParallelCtx is RoundsParallel threaded with a context: workers
+// observe cancellation at the next job boundary (at most one shard of work
+// after ctx fires), the call returns ctx.Err(), and an obs.Tracker carried
+// by the context has its "facets" counter bumped shard by shard. With an
+// uncancellable context and workers <= 1 the call is exactly the serial
+// Rounds.
+func RoundsParallelCtx(ctx context.Context, input topology.Simplex, p Params, r int, workers int) (*pc.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if r < 0 {
 		return nil, fmt.Errorf("semisync: negative round count %d", r)
 	}
-	if workers <= 1 || r == 0 {
+	cancellable := ctx.Done() != nil
+	if (workers <= 1 && !cancellable) || r == 0 {
 		return Rounds(input, p, r)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	cur := pc.InputViews(input)
 	maxFail := minInt(p.PerRound, p.Total)
@@ -77,25 +99,37 @@ func RoundsParallel(input topology.Simplex, p Params, r int, workers int) (*pc.R
 			}
 		}
 	}
-	if r == 1 && grand < parallelThreshold {
+	if r == 1 && grand < parallelThreshold && !cancellable {
 		return Rounds(input, p, r)
 	}
 	res := pc.NewResult()
-	runJobs(res, jobs, r, workers)
+	if err := runJobs(ctx, res, jobs, r, workers); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 // runJobs drains jobs with a pool of workers, each accumulating into a
-// private result, and merges the shards into res.
-func runJobs(res *pc.Result, jobs []shardJob, r int, workers int) {
+// private result, and merges the shards into res. Workers re-check the
+// context at every job claim; on cancellation the merge is skipped and
+// ctx.Err() is returned. The first enumeration error (none are expected)
+// aborts the drain the same way.
+func runJobs(ctx context.Context, res *pc.Result, jobs []shardJob, r int, workers int) error {
 	if len(jobs) == 0 {
-		return
+		return nil
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	var cancelled atomic.Bool
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
+		defer stop()
+	}
+	facetCtr := obs.FromContext(ctx).Counter("facets")
 	locals := make([]*pc.Result, workers)
 	var cursor int64
+	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
 	for w := range locals {
 		local := pc.NewResult()
@@ -104,6 +138,9 @@ func runJobs(res *pc.Result, jobs []shardJob, r int, workers int) {
 		go func(local *pc.Result) {
 			defer wg.Done()
 			for {
+				if cancelled.Load() || firstErr.Load() != nil {
+					return
+				}
 				j := atomic.AddInt64(&cursor, 1) - 1
 				if j >= int64(len(jobs)) {
 					return
@@ -118,16 +155,27 @@ func runJobs(res *pc.Result, jobs []shardJob, r int, workers int) {
 					pc.FillFacet(facet, verts, job.opts, idx)
 					if r == 1 {
 						local.AddFacetVertices(verts, facet)
-					} else {
-						roundsRec(local, facet, job.next, r-1)
+					} else if err := roundsRec(local, facet, job.next, r-1); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
 					}
 					pc.Advance(idx, job.opts)
 				}
+				facetCtr.Add(uint64(job.hi - job.lo))
 			}
 		}(local)
 	}
 	wg.Wait()
+	if errp := firstErr.Load(); errp != nil {
+		return *errp
+	}
+	if cancelled.Load() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	for _, l := range locals {
 		res.Merge(l)
 	}
+	return nil
 }

@@ -272,14 +272,16 @@ func Rounds(input topology.Simplex, p Params, r int) (*pc.Result, error) {
 		return nil, fmt.Errorf("semisync: negative round count %d", r)
 	}
 	res := pc.NewResult()
-	roundsRec(res, pc.InputViews(input), p, r)
+	if err := roundsRec(res, pc.InputViews(input), p, r); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
-func roundsRec(res *pc.Result, cur []*views.View, p Params, r int) {
+func roundsRec(res *pc.Result, cur []*views.View, p Params, r int) error {
 	if r == 0 {
 		res.AddFacet(cur)
-		return
+		return nil
 	}
 	ids := make([]int, len(cur))
 	for i, v := range cur {
@@ -294,16 +296,21 @@ func roundsRec(res *pc.Result, cur []*views.View, p Params, r int) {
 			}
 			facets, err := appendOneRoundPattern(scratch, cur, fail, f, p, -1)
 			if err != nil {
-				// Unreachable: fail is drawn from the participant ids.
-				panic(err)
+				// Not expected — fail is drawn from the participant ids — but
+				// propagated rather than panicking so callers (and the cmd
+				// tools above them) fail with a message, not a stack trace.
+				return err
 			}
 			next := p
 			next.Total = p.Total - len(fail)
 			for _, facet := range facets {
-				roundsRec(res, facet, next, r-1)
+				if err := roundsRec(res, facet, next, r-1); err != nil {
+					return err
+				}
 			}
 		}
 	}
+	return nil
 }
 
 // FailureSets enumerates the subsets of ids of size at most maxSize,

@@ -14,7 +14,7 @@ func inputSimplex(labels ...string) topology.Simplex {
 	for i, l := range labels {
 		vs[i] = topology.Vertex{P: i, Label: l}
 	}
-	return topology.MustSimplex(vs...)
+	return mustSimplex(vs...)
 }
 
 func timing(k, f int) Params {

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"pseudosphere/internal/obs"
+)
+
+func TestEnumerateCrashSchedulesCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EnumerateCrashSchedulesCtx(ctx, 4, 2, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial: want context.Canceled, got %v", err)
+	}
+	if _, err := EnumerateCrashSchedulesParallelCtx(ctx, 4, 2, 3, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel: want context.Canceled, got %v", err)
+	}
+}
+
+// TestEnumerateCrashSchedulesParallelCtxCancelMidRun cancels the
+// enumeration once the schedule counter shows real progress and requires
+// a prompt error return with no worker goroutines left behind.
+func TestEnumerateCrashSchedulesParallelCtxCancelMidRun(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tracker := obs.NewTracker()
+	ctx, cancel := context.WithCancel(obs.WithTracker(context.Background(), tracker))
+	defer cancel()
+	go func() {
+		for tracker.Counters()["schedules"] == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	start := time.Now()
+	out, err := EnumerateCrashSchedulesParallelCtx(ctx, 7, 4, 5, 4)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("enumeration completed (%d schedules) before cancellation fired", len(out))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled enumeration took %v to return", elapsed)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutine leak after cancellation: %d before, %d after", before, g)
+	}
+}

@@ -1,10 +1,14 @@
 package sim
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"pseudosphere/internal/obs"
 )
 
 // EnumerateCrashSchedules generates every crash schedule with at most f
@@ -17,14 +21,38 @@ import (
 // canonical-key set guards that invariant during collection instead of the
 // former full-list dedup pass.
 func EnumerateCrashSchedules(n1, f, maxRound int) []CrashSchedule {
+	out, _ := EnumerateCrashSchedulesCtx(context.Background(), n1, f, maxRound)
+	return out
+}
+
+// EnumerateCrashSchedulesCtx is EnumerateCrashSchedules threaded with a
+// context: the enumeration is abandoned at the next crash-set subtree
+// after ctx fires (returning ctx.Err()), and an obs.Tracker carried by
+// the context has its "schedules" counter bumped subtree by subtree.
+func EnumerateCrashSchedulesCtx(ctx context.Context, n1, f, maxRound int) ([]CrashSchedule, error) {
+	schedCtr := obs.FromContext(ctx).Counter("schedules")
+	var cancelled *atomic.Bool
+	if ctx.Done() != nil {
+		cancelled = new(atomic.Bool)
+		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
+		defer stop()
+	}
 	var branches [][]CrashSchedule
 	if f > 0 {
 		branches = make([][]CrashSchedule, n1)
 		for b := 0; b < n1; b++ {
-			branches[b] = branchSchedules(b, n1, f, maxRound)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			branches[b] = branchSchedules(b, n1, f, maxRound, schedCtr, cancelled)
 		}
 	}
-	return mergeSchedules(branches)
+	if cancelled != nil && cancelled.Load() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return mergeSchedules(branches), nil
 }
 
 // EnumerateCrashSchedulesParallel is EnumerateCrashSchedules with the
@@ -32,32 +60,73 @@ func EnumerateCrashSchedules(n1, f, maxRound int) []CrashSchedule {
 // pool of workers. Branches are merged in branch order, so the output is
 // identical to the serial enumeration for every worker count.
 func EnumerateCrashSchedulesParallel(n1, f, maxRound, workers int) []CrashSchedule {
+	out, _ := EnumerateCrashSchedulesParallelCtx(context.Background(), n1, f, maxRound, workers)
+	return out
+}
+
+// EnumerateCrashSchedulesParallelCtx is EnumerateCrashSchedulesParallel
+// threaded with a context: workers observe cancellation at the next
+// branch claim and at every crash-set subtree inside a branch, the call
+// returns ctx.Err(), and an obs.Tracker carried by the context has its
+// "schedules" counter bumped subtree by subtree.
+func EnumerateCrashSchedulesParallelCtx(ctx context.Context, n1, f, maxRound, workers int) ([]CrashSchedule, error) {
 	if workers <= 1 || f <= 0 || n1 <= 1 {
-		return EnumerateCrashSchedules(n1, f, maxRound)
+		return EnumerateCrashSchedulesCtx(ctx, n1, f, maxRound)
 	}
+	var cancelled *atomic.Bool
+	if ctx.Done() != nil {
+		cancelled = new(atomic.Bool)
+		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
+		defer stop()
+	}
+	schedCtr := obs.FromContext(ctx).Counter("schedules")
 	branches := make([][]CrashSchedule, n1)
-	sem := make(chan struct{}, workers)
+	if workers > n1 {
+		workers = n1
+	}
+	var cursor int64
 	var wg sync.WaitGroup
-	for b := 0; b < n1; b++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(b int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			branches[b] = branchSchedules(b, n1, f, maxRound)
-		}(b)
+			for {
+				if cancelled != nil && cancelled.Load() {
+					return
+				}
+				b := int(atomic.AddInt64(&cursor, 1) - 1)
+				if b >= n1 {
+					return
+				}
+				branches[b] = branchSchedules(b, n1, f, maxRound, schedCtr, cancelled)
+			}
+		}()
 	}
 	wg.Wait()
-	return mergeSchedules(branches)
+	if cancelled != nil && cancelled.Load() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return mergeSchedules(branches), nil
 }
 
 // branchSchedules enumerates, depth-first, every schedule whose smallest
-// crashing process is b.
-func branchSchedules(b, n1, f, maxRound int) []CrashSchedule {
+// crashing process is b, bumping the schedules counter subtree by subtree.
+// A non-nil cancelled flag is probed once per crash-set subtree — a
+// single branch can hold nearly the whole search space (branch 0 covers every schedule involving process 0), so
+// branch-level granularity alone would not make cancellation prompt; the
+// truncated result is discarded by the callers.
+func branchSchedules(b, n1, f, maxRound int, schedCtr *obs.Counter, cancelled *atomic.Bool) []CrashSchedule {
 	var out []CrashSchedule
 	var choose func(start int, chosen []int)
 	choose = func(start int, chosen []int) {
-		out = append(out, expandCrashes(chosen, n1, maxRound)...)
+		if cancelled != nil && cancelled.Load() {
+			return
+		}
+		sub := expandCrashes(chosen, n1, maxRound, cancelled)
+		out = append(out, sub...)
+		schedCtr.Add(uint64(len(sub)))
 		if len(chosen) == f {
 			return
 		}
@@ -102,13 +171,15 @@ func mergeSchedules(branches [][]CrashSchedule) []CrashSchedule {
 }
 
 // expandCrashes enumerates round and partial-broadcast choices for a fixed
-// set of crashing processes.
-func expandCrashes(crashing []int, n1, maxRound int) []CrashSchedule {
+// set of crashing processes. The option product is exponential in the
+// crash-set size, so a non-nil cancelled flag is probed every 1024 emitted
+// schedules and the truncated list returned; callers discard it.
+func expandCrashes(crashing []int, n1, maxRound int, cancelled *atomic.Bool) []CrashSchedule {
 	if len(crashing) == 0 {
 		return []CrashSchedule{{}}
 	}
 	head, rest := crashing[0], crashing[1:]
-	tails := expandCrashes(rest, n1, maxRound)
+	tails := expandCrashes(rest, n1, maxRound, cancelled)
 	var out []CrashSchedule
 	receivers := make([]int, 0, n1-1)
 	for q := 0; q < n1; q++ {
@@ -125,6 +196,9 @@ func expandCrashes(crashing []int, n1, maxRound int) []CrashSchedule {
 				}
 			}
 			for _, tail := range tails {
+				if cancelled != nil && len(out)&1023 == 0 && cancelled.Load() {
+					return out
+				}
 				cs := make(CrashSchedule, len(tail)+1)
 				for p, c := range tail {
 					cs[p] = c

@@ -22,6 +22,23 @@ func (t Timing) Validate() error {
 	return nil
 }
 
+// Warnings reports timing choices that Validate accepts but that fall
+// outside the paper's round-structured operating envelope. With d < c2 a
+// process stepping at its slowest can take no step at all inside a round
+// of duration d, so the Section 8 normal form (every process steps in
+// every round, p = ceil(d/c1) microrounds) does not cover all executions
+// of such a system; results derived from the round structure (Lemmas
+// 19-21, Corollary 22) must then be interpreted with care. RunTimed still
+// executes these systems exactly.
+func (t Timing) Warnings() []string {
+	var ws []string
+	if t.D < t.C2 {
+		ws = append(ws, fmt.Sprintf(
+			"sim: d=%d < c2=%d: a slowest-pace process may step zero times in a round, outside the paper's round-structured envelope", t.D, t.C2))
+	}
+	return ws
+}
+
 // TimedProtocol is a per-process protocol for the semi-synchronous model.
 // The runner calls Init once, Deliver for each incoming message (with the
 // virtual delivery time), and Step at each of the process's steps.
@@ -85,6 +102,47 @@ func (s SlowSoloSchedule) Delay(from, to, sendTime int) int {
 	return LockstepSchedule{Timing: s.Timing}.Delay(from, to, sendTime)
 }
 
+// CheckSchedule probes a schedule against the timing band: every step
+// interval must lie in [c1, c2] and every delay in [1, d]. Processes
+// 0..n1-1 are probed for steps 0..window-1 and sends at times 0..window-1.
+// Schedules must be pure functions of their arguments (both built-in
+// schedules are), so probing is free of side effects. RunTimed uses this
+// as a fail-fast guard over a bounded window before executing anything;
+// its own event loop still enforces the band exactly on every value it
+// consumes, so a schedule that misbehaves only beyond the probe window is
+// caught during the run.
+func CheckSchedule(schedule TimedSchedule, timing Timing, n1, window int) error {
+	if err := timing.Validate(); err != nil {
+		return err
+	}
+	for p := 0; p < n1; p++ {
+		for k := 0; k < window; k++ {
+			if iv := schedule.StepInterval(p, k); iv < timing.C1 || iv > timing.C2 {
+				return fmt.Errorf("sim: schedule out of band: step interval %d for process %d step %d outside [%d, %d]", iv, p, k, timing.C1, timing.C2)
+			}
+		}
+	}
+	for from := 0; from < n1; from++ {
+		for to := 0; to < n1; to++ {
+			if to == from {
+				continue
+			}
+			for st := 0; st < window; st++ {
+				if dl := schedule.Delay(from, to, st); dl < 1 || dl > timing.D {
+					return fmt.Errorf("sim: schedule out of band: delay %d for %d->%d sent at %d outside [1, %d]", dl, from, to, st, timing.D)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkWindow bounds the upfront CheckSchedule probe in RunTimed: both
+// built-in schedules are periodic well within a few multiples of d, so a
+// small window catches misconfigurations before any protocol code runs
+// without making large horizons quadratic to start.
+const checkWindow = 64
+
 // TimedCrash stops a process at a virtual time: no steps or sends at or
 // after Time.
 type TimedCrash struct {
@@ -145,6 +203,13 @@ func RunTimed(inputs []string, factory TimedFactory, timing Timing, schedule Tim
 		return nil, fmt.Errorf("sim: no processes")
 	}
 	n1 := len(inputs)
+	window := checkWindow
+	if horizon < window {
+		window = horizon
+	}
+	if err := CheckSchedule(schedule, timing, n1, window); err != nil {
+		return nil, err
+	}
 	insts := make([]TimedProtocol, n1)
 	for i := range insts {
 		insts[i] = factory()

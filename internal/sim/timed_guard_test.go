@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// badIntervalSchedule claims lockstep delays but steps slower than c2.
+type badIntervalSchedule struct {
+	Timing Timing
+}
+
+func (s badIntervalSchedule) StepInterval(p, k int) int { return s.Timing.C2 + 1 }
+func (s badIntervalSchedule) Delay(from, to, sendTime int) int {
+	return LockstepSchedule{Timing: s.Timing}.Delay(from, to, sendTime)
+}
+
+// badDelaySchedule steps in lockstep but delivers later than d.
+type badDelaySchedule struct {
+	Timing Timing
+}
+
+func (s badDelaySchedule) StepInterval(p, k int) int        { return s.Timing.C1 }
+func (s badDelaySchedule) Delay(from, to, sendTime int) int { return s.Timing.D + 1 }
+
+// stepSpy records whether any step ran.
+type stepSpy struct {
+	hit *bool
+}
+
+func (p *stepSpy) Init(self, n int, input string, timing Timing) {}
+func (p *stepSpy) Deliver(now, from int, payload string)         {}
+func (p *stepSpy) Step(now int) (string, bool, string) {
+	*p.hit = true
+	return "", true, "ok"
+}
+
+func TestTimingWarningsDBelowC2(t *testing.T) {
+	tm := Timing{C1: 1, C2: 3, D: 2}
+	if err := tm.Validate(); err != nil {
+		t.Fatalf("d < c2 must stay valid (existing executions use it): %v", err)
+	}
+	ws := tm.Warnings()
+	if len(ws) != 1 || !strings.Contains(ws[0], "d=2 < c2=3") {
+		t.Fatalf("want one d<c2 warning, got %v", ws)
+	}
+	if ws := (Timing{C1: 1, C2: 2, D: 2}).Warnings(); len(ws) != 0 {
+		t.Fatalf("d >= c2 should not warn, got %v", ws)
+	}
+}
+
+func TestCheckScheduleAcceptsBuiltins(t *testing.T) {
+	tm := Timing{C1: 2, C2: 4, D: 6}
+	if err := CheckSchedule(LockstepSchedule{Timing: tm}, tm, 3, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSchedule(SlowSoloSchedule{Timing: tm, Solo: 1}, tm, 3, 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckScheduleRejectsOutOfBand(t *testing.T) {
+	tm := Timing{C1: 1, C2: 2, D: 2}
+	if err := CheckSchedule(badIntervalSchedule{Timing: tm}, tm, 2, 16); err == nil {
+		t.Fatal("interval above c2 accepted")
+	} else if !strings.Contains(err.Error(), "step interval") {
+		t.Fatalf("wrong error: %v", err)
+	}
+	if err := CheckSchedule(badDelaySchedule{Timing: tm}, tm, 2, 16); err == nil {
+		t.Fatal("delay above d accepted")
+	} else if !strings.Contains(err.Error(), "delay") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+// TestRunTimedGuardsSchedule requires the runner to reject an out-of-band
+// schedule before any protocol step executes.
+func TestRunTimedGuardsSchedule(t *testing.T) {
+	tm := Timing{C1: 1, C2: 2, D: 2}
+	stepped := false
+	factory := func() TimedProtocol {
+		return &stepSpy{hit: &stepped}
+	}
+	if _, err := RunTimed([]string{"a", "b"}, factory, tm, badDelaySchedule{Timing: tm}, nil, 100); err == nil {
+		t.Fatal("out-of-band schedule accepted by RunTimed")
+	}
+	if stepped {
+		t.Fatal("protocol stepped before the schedule guard fired")
+	}
+}

@@ -11,8 +11,8 @@ import (
 func v(p int, label string) topology.Vertex { return topology.Vertex{P: p, Label: label} }
 
 func TestDegree(t *testing.T) {
-	s := topology.MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
-	u := topology.MustSimplex(v(0, "a"), v(1, "x"), v(2, "c"))
+	s := mustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
+	u := mustSimplex(v(0, "a"), v(1, "x"), v(2, "c"))
 	if got := Degree(s, u); got != 2 {
 		t.Fatalf("degree = %d, want 2", got)
 	}
@@ -23,9 +23,9 @@ func TestDegree(t *testing.T) {
 
 func TestGraphOnPath(t *testing.T) {
 	// Three triangles in a chain: A-B share 2 vertices, B-C share 1.
-	a := topology.MustSimplex(v(0, "a0"), v(1, "b0"), v(2, "c0"))
-	b := topology.MustSimplex(v(0, "a0"), v(1, "b0"), v(2, "c1"))
-	c := topology.MustSimplex(v(0, "a1"), v(1, "b1"), v(2, "c1"))
+	a := mustSimplex(v(0, "a0"), v(1, "b0"), v(2, "c0"))
+	b := mustSimplex(v(0, "a0"), v(1, "b0"), v(2, "c1"))
+	c := mustSimplex(v(0, "a1"), v(1, "b1"), v(2, "c1"))
 	complexOf := topology.ComplexOf(a, b, c)
 
 	g1, err := NewGraph(complexOf, 1)
@@ -92,8 +92,8 @@ func TestAsyncSimilarityChain(t *testing.T) {
 }
 
 func TestChainAbsentAcrossComponents(t *testing.T) {
-	a := topology.MustSimplex(v(0, "a"), v(1, "b"))
-	b := topology.MustSimplex(v(0, "x"), v(1, "y"))
+	a := mustSimplex(v(0, "a"), v(1, "b"))
+	b := mustSimplex(v(0, "x"), v(1, "y"))
 	g, err := NewGraph(topology.ComplexOf(a, b), 1)
 	if err != nil {
 		t.Fatal(err)
@@ -108,8 +108,8 @@ func TestChainAbsentAcrossComponents(t *testing.T) {
 }
 
 func TestValidateChainRejectsGap(t *testing.T) {
-	a := topology.MustSimplex(v(0, "a"), v(1, "b"))
-	b := topology.MustSimplex(v(0, "x"), v(1, "y"))
+	a := mustSimplex(v(0, "a"), v(1, "b"))
+	b := mustSimplex(v(0, "x"), v(1, "y"))
 	if err := ValidateChain([]topology.Simplex{a, b}, 1); err == nil {
 		t.Fatal("disjoint consecutive states accepted")
 	}

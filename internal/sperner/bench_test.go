@@ -7,7 +7,7 @@ import (
 )
 
 func BenchmarkSubdivideDepth2(b *testing.B) {
-	base := topology.MustSimplex(
+	base := mustSimplex(
 		topology.Vertex{P: 0, Label: "a"},
 		topology.Vertex{P: 1, Label: "b"},
 		topology.Vertex{P: 2, Label: "c"},
@@ -21,7 +21,7 @@ func BenchmarkSubdivideDepth2(b *testing.B) {
 }
 
 func BenchmarkVerifyLemma(b *testing.B) {
-	base := topology.MustSimplex(
+	base := mustSimplex(
 		topology.Vertex{P: 0, Label: "a"},
 		topology.Vertex{P: 1, Label: "b"},
 		topology.Vertex{P: 2, Label: "c"},

@@ -8,7 +8,7 @@ import (
 )
 
 func base2() topology.Simplex {
-	return topology.MustSimplex(
+	return mustSimplex(
 		topology.Vertex{P: 0, Label: "a"},
 		topology.Vertex{P: 1, Label: "b"},
 		topology.Vertex{P: 2, Label: "c"},
@@ -70,7 +70,7 @@ func TestRandomSpernerColorings(t *testing.T) {
 }
 
 func TestSpernerTetrahedron(t *testing.T) {
-	base := topology.MustSimplex(
+	base := mustSimplex(
 		topology.Vertex{P: 0, Label: "a"},
 		topology.Vertex{P: 1, Label: "b"},
 		topology.Vertex{P: 2, Label: "c"},

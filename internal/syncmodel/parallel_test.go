@@ -1,6 +1,8 @@
 package syncmodel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -12,7 +14,7 @@ func parallelInput(n int) topology.Simplex {
 	for i := range verts {
 		verts[i] = topology.Vertex{P: i, Label: fmt.Sprintf("v%d", i)}
 	}
-	return topology.MustSimplex(verts...)
+	return mustSimplex(verts...)
 }
 
 // The parallel construction must agree bit for bit with the serial one for
@@ -58,5 +60,14 @@ func TestOneRoundParallelMatchesOneRound(t *testing.T) {
 	}
 	if got.Complex.CanonicalHash() != want.Complex.CanonicalHash() {
 		t.Error("OneRoundParallel disagrees with OneRound")
+	}
+}
+
+func TestRoundsParallelCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RoundsParallelCtx(ctx, parallelInput(3), Params{PerRound: 1, Total: 2}, 2, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

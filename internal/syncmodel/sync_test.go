@@ -14,7 +14,7 @@ func inputSimplex(labels ...string) topology.Simplex {
 	for i, l := range labels {
 		vs[i] = topology.Vertex{P: i, Label: l}
 	}
-	return topology.MustSimplex(vs...)
+	return mustSimplex(vs...)
 }
 
 // TestLemma14Isomorphism verifies Lemma 14: S^1_K(S) is isomorphic, via

@@ -14,7 +14,7 @@ func benchAnnotated(chains int) *Annotated {
 		a := v(0, fmt.Sprintf("a%d", i))
 		b := v(1, fmt.Sprintf("b%d", i))
 		d := v(2, fmt.Sprintf("c%d", i))
-		c.Add(topology.MustSimplex(a, b, d))
+		c.Add(mustSimplex(a, b, d))
 		for _, vert := range []topology.Vertex{a, b, d} {
 			allowed[vert] = []string{"0", "1", "2"}
 		}

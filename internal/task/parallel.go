@@ -1,10 +1,19 @@
 package task
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
+
+// FindDecisionCtx is FindDecision with cooperative cancellation: the
+// backtracking search checks the context at every node and returns
+// ctx.Err() once it fires. The k = 1 consensus procedure is polynomial
+// and always runs to completion.
+func FindDecisionCtx(ctx context.Context, a *Annotated, k int, nodeLimit int64) (DecisionMap, bool, error) {
+	return FindDecisionParallelCtx(ctx, a, k, nodeLimit, 1)
+}
 
 // FindDecisionParallel is FindDecision with the k >= 2 backtracking search
 // split across workers: the first decision variable's domain values become
@@ -20,6 +29,16 @@ import (
 // map is still a valid certificate — and ErrSearchLimit is reported only
 // when no branch succeeds.
 func FindDecisionParallel(a *Annotated, k int, nodeLimit int64, workers int) (DecisionMap, bool, error) {
+	return FindDecisionParallelCtx(context.Background(), a, k, nodeLimit, workers)
+}
+
+// FindDecisionParallelCtx is FindDecisionParallel threaded with a context:
+// every branch's per-node abort probe additionally observes cancellation,
+// so the search unwinds within one node expansion of ctx firing and the
+// call returns ctx.Err() (unless some branch had already found a decision
+// map, which is returned — it is a valid certificate regardless). With an
+// uncancellable context the behavior is exactly FindDecisionParallel.
+func FindDecisionParallelCtx(ctx context.Context, a *Annotated, k int, nodeLimit int64, workers int) (DecisionMap, bool, error) {
 	if err := a.Validate(); err != nil {
 		return nil, false, err
 	}
@@ -33,10 +52,58 @@ func FindDecisionParallel(a *Annotated, k int, nodeLimit int64, workers int) (De
 		dm, ok := findConsensus(a)
 		return dm, ok, nil
 	}
-	if workers <= 1 {
-		return findBacktracking(a, k, nodeLimit)
+	if ctx.Done() == nil {
+		if workers <= 1 {
+			return findBacktracking(a, k, nodeLimit)
+		}
+		return findBacktrackingParallel(a, k, nodeLimit, workers, nil)
 	}
-	return findBacktrackingParallel(a, k, nodeLimit, workers)
+	var cancelled atomic.Bool
+	stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
+	defer stop()
+	var dm DecisionMap
+	var ok bool
+	var err error
+	if workers <= 1 {
+		dm, ok, err = findBacktrackingCancellable(a, k, nodeLimit, &cancelled)
+	} else {
+		dm, ok, err = findBacktrackingParallel(a, k, nodeLimit, workers, &cancelled)
+	}
+	if !ok && cancelled.Load() {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, false, cerr
+		}
+	}
+	return dm, ok, err
+}
+
+// findBacktrackingCancellable is findBacktracking with a cancellation flag
+// probed at every node.
+func findBacktrackingCancellable(a *Annotated, k int, nodeLimit int64, cancelled *atomic.Bool) (DecisionMap, bool, error) {
+	s := newSearch(a, k)
+	b := &branchRun{
+		s:        s,
+		assign:   make([]string, len(s.verts)),
+		assigned: make([]bool, len(s.verts)),
+		abort:    cancelled.Load,
+	}
+	if nodeLimit > 0 {
+		remaining := nodeLimit
+		b.budget = &remaining
+	}
+	ok, err := b.rec(0)
+	if err == errAborted {
+		// Cancellation unwound the search; the caller translates the flag
+		// into ctx.Err().
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return b.decisionMap(), true, nil
 }
 
 // branchOutcome records one first-variable branch's result.
@@ -46,7 +113,11 @@ type branchOutcome struct {
 	err error
 }
 
-func findBacktrackingParallel(a *Annotated, k int, nodeLimit int64, workers int) (DecisionMap, bool, error) {
+// findBacktrackingParallel runs the branch-split search; a non-nil
+// cancelled flag is folded into every branch's abort probe, and a
+// cancellation unwind surfaces as (nil, false, nil) for the caller to
+// translate into ctx.Err().
+func findBacktrackingParallel(a *Annotated, k int, nodeLimit int64, workers int, cancelled *atomic.Bool) (DecisionMap, bool, error) {
 	s := newSearch(a, k)
 	if len(s.order) == 0 {
 		return DecisionMap{}, true, nil
@@ -54,6 +125,9 @@ func findBacktrackingParallel(a *Annotated, k int, nodeLimit int64, workers int)
 	v0 := s.order[0]
 	dom := s.domains[v0]
 	if len(dom) < 2 {
+		if cancelled != nil {
+			return findBacktrackingCancellable(a, k, nodeLimit, cancelled)
+		}
 		return findBacktracking(a, k, nodeLimit)
 	}
 	var remaining *int64
@@ -73,16 +147,22 @@ func findBacktrackingParallel(a *Annotated, k int, nodeLimit int64, workers int)
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if atomic.LoadInt64(&best) < int64(bi) {
+			if atomic.LoadInt64(&best) < int64(bi) || (cancelled != nil && cancelled.Load()) {
 				outcomes[bi] = branchOutcome{err: errAborted}
 				return
+			}
+			abort := func() bool { return atomic.LoadInt64(&best) < int64(bi) }
+			if cancelled != nil {
+				abort = func() bool {
+					return cancelled.Load() || atomic.LoadInt64(&best) < int64(bi)
+				}
 			}
 			b := &branchRun{
 				s:        s,
 				assign:   make([]string, len(s.verts)),
 				assigned: make([]bool, len(s.verts)),
 				budget:   remaining,
-				abort:    func() bool { return atomic.LoadInt64(&best) < int64(bi) },
+				abort:    abort,
 			}
 			// The root assignment consumes one node, as in the serial loop.
 			if b.budget != nil && atomic.AddInt64(b.budget, -1) < 0 {

@@ -17,7 +17,7 @@ func roundAnnotated(t testing.TB, n, f int) *Annotated {
 	for i := range verts {
 		verts[i] = topology.Vertex{P: i, Label: fmt.Sprintf("%d", i)}
 	}
-	res, err := asyncmodel.OneRound(topology.MustSimplex(verts...), asyncmodel.Params{N: n, F: f})
+	res, err := asyncmodel.OneRound(mustSimplex(verts...), asyncmodel.Params{N: n, F: f})
 	if err != nil {
 		t.Fatal(err)
 	}

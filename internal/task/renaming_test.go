@@ -7,7 +7,7 @@ import (
 )
 
 func TestRenamingOnSingleSimplex(t *testing.T) {
-	tri := topology.MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
+	tri := mustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
 	c := topology.ComplexOf(tri)
 	ann := &Annotated{Complex: c, Allowed: map[topology.Vertex][]string{}}
 
@@ -35,10 +35,10 @@ func TestRenamingOnChainNeedsExtraNames(t *testing.T) {
 	// views of process 0 different... check what the search says, and
 	// verify the found map at the minimal namespace.
 	c := topology.ComplexOf(
-		topology.MustSimplex(v(0, "x"), v(1, "x")),
-		topology.MustSimplex(v(1, "x"), v(0, "y")),
-		topology.MustSimplex(v(0, "y"), v(1, "y")),
-		topology.MustSimplex(v(1, "y"), v(0, "x")),
+		mustSimplex(v(0, "x"), v(1, "x")),
+		mustSimplex(v(1, "x"), v(0, "y")),
+		mustSimplex(v(0, "y"), v(1, "y")),
+		mustSimplex(v(1, "y"), v(0, "x")),
 	)
 	ann := &Annotated{Complex: c, Allowed: map[topology.Vertex][]string{}}
 	// Namespace 2 works here: name by process id... only if each edge has
@@ -53,7 +53,7 @@ func TestRenamingOnChainNeedsExtraNames(t *testing.T) {
 }
 
 func TestCheckRenamingViolations(t *testing.T) {
-	e := topology.MustSimplex(v(0, "a"), v(1, "b"))
+	e := mustSimplex(v(0, "a"), v(1, "b"))
 	c := topology.ComplexOf(e)
 	ann := &Annotated{Complex: c, Allowed: map[topology.Vertex][]string{}}
 	if err := CheckRenaming(ann, DecisionMap{v(0, "a"): "1", v(1, "b"): "1"}, 2); err == nil {

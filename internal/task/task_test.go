@@ -16,8 +16,8 @@ func annotated(c *topology.Complex, allowed map[topology.Vertex][]string) *Annot
 func TestFindConsensusOnMonochromeComponent(t *testing.T) {
 	// Path a--b--c where every vertex allows {0,1}: consensus exists.
 	c := topology.ComplexOf(
-		topology.MustSimplex(v(0, "a"), v(1, "b")),
-		topology.MustSimplex(v(1, "b"), v(0, "c")),
+		mustSimplex(v(0, "a"), v(1, "b")),
+		mustSimplex(v(1, "b"), v(0, "c")),
 	)
 	allowed := map[topology.Vertex][]string{
 		v(0, "a"): {"0", "1"},
@@ -37,8 +37,8 @@ func TestFindConsensusImpossibleOnForcedPath(t *testing.T) {
 	// Path where one end allows only 0 and the other only 1: the
 	// component has no common value, so consensus is impossible.
 	c := topology.ComplexOf(
-		topology.MustSimplex(v(0, "a"), v(1, "b")),
-		topology.MustSimplex(v(1, "b"), v(0, "c")),
+		mustSimplex(v(0, "a"), v(1, "b")),
+		mustSimplex(v(1, "b"), v(0, "c")),
 	)
 	allowed := map[topology.Vertex][]string{
 		v(0, "a"): {"0"},
@@ -55,8 +55,8 @@ func TestFindConsensusDisconnectedComponents(t *testing.T) {
 	// Two components with different forced values: fine for consensus
 	// (each simplex is monochromatic).
 	c := topology.ComplexOf(
-		topology.MustSimplex(v(0, "a"), v(1, "b")),
-		topology.MustSimplex(v(0, "x"), v(1, "y")),
+		mustSimplex(v(0, "a"), v(1, "b")),
+		mustSimplex(v(0, "x"), v(1, "y")),
 	)
 	allowed := map[topology.Vertex][]string{
 		v(0, "a"): {"0"}, v(1, "b"): {"0"},
@@ -74,7 +74,7 @@ func TestFindConsensusDisconnectedComponents(t *testing.T) {
 func TestFindDecisionK2Triangle(t *testing.T) {
 	// A triangle with three forced distinct values cannot solve 2-set
 	// agreement, but relaxing one vertex makes it solvable.
-	tri := topology.MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
+	tri := mustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
 	c := topology.ComplexOf(tri)
 	forced := map[topology.Vertex][]string{
 		v(0, "a"): {"0"}, v(1, "b"): {"1"}, v(2, "c"): {"2"},
@@ -104,7 +104,7 @@ func TestFindDecisionSearchLimit(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		a := v(0, string(rune('a'+i)))
 		b := v(1, string(rune('a'+i)))
-		simplexes = append(simplexes, topology.MustSimplex(a, b))
+		simplexes = append(simplexes, mustSimplex(a, b))
 		allowed[a] = []string{"0", "1", "2"}
 		allowed[b] = []string{"0", "1", "2"}
 	}
@@ -116,7 +116,7 @@ func TestFindDecisionSearchLimit(t *testing.T) {
 }
 
 func TestCheckDecisionViolations(t *testing.T) {
-	tri := topology.MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
+	tri := mustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
 	c := topology.ComplexOf(tri)
 	allowed := map[topology.Vertex][]string{
 		v(0, "a"): {"0"}, v(1, "b"): {"1"}, v(2, "c"): {"2"},
@@ -140,7 +140,7 @@ func TestCheckDecisionViolations(t *testing.T) {
 }
 
 func TestAnnotatedValidate(t *testing.T) {
-	c := topology.ComplexOf(topology.MustSimplex(v(0, "a")))
+	c := topology.ComplexOf(mustSimplex(v(0, "a")))
 	if err := annotated(c, map[topology.Vertex][]string{}).Validate(); err == nil {
 		t.Fatal("missing allowed set not caught")
 	}

@@ -7,7 +7,7 @@ func benchComplex(labels int) *Complex {
 	for a := 0; a < labels; a++ {
 		for b := 0; b < labels; b++ {
 			for d := 0; d < labels; d++ {
-				c.Add(MustSimplex(
+				c.Add(mustSimplex(
 					Vertex{P: 0, Label: string(rune('a' + a))},
 					Vertex{P: 1, Label: string(rune('a' + b))},
 					Vertex{P: 2, Label: string(rune('a' + d))},
@@ -43,7 +43,7 @@ func BenchmarkIntersection(b *testing.B) {
 }
 
 func BenchmarkBarycentricSubdivision(b *testing.B) {
-	c := ComplexOf(MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"), v(3, "d")))
+	c := ComplexOf(mustSimplex(v(0, "a"), v(1, "b"), v(2, "c"), v(3, "d")))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BarycentricSubdivision(c)

@@ -6,7 +6,7 @@ import (
 )
 
 func triangle() Simplex {
-	return MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
+	return mustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
 }
 
 func TestComplexClosure(t *testing.T) {
@@ -28,7 +28,7 @@ func TestComplexClosure(t *testing.T) {
 
 func TestComplexFacets(t *testing.T) {
 	s := triangle()
-	extra := MustSimplex(v(2, "c"), v(3, "d"))
+	extra := mustSimplex(v(2, "c"), v(3, "d"))
 	c := ComplexOf(s, extra)
 	facets := c.Facets()
 	if len(facets) != 2 {
@@ -37,8 +37,8 @@ func TestComplexFacets(t *testing.T) {
 }
 
 func TestComplexUnionIntersection(t *testing.T) {
-	a := ComplexOf(MustSimplex(v(0, "a"), v(1, "b")))
-	b := ComplexOf(MustSimplex(v(1, "b"), v(2, "c")))
+	a := ComplexOf(mustSimplex(v(0, "a"), v(1, "b")))
+	b := ComplexOf(mustSimplex(v(1, "b"), v(2, "c")))
 	u := a.Union(b)
 	if u.Size() != 5 {
 		t.Fatalf("union size = %d, want 5", u.Size())
@@ -78,8 +78,8 @@ func TestStarAndLink(t *testing.T) {
 }
 
 func TestComplexJoin(t *testing.T) {
-	a := ComplexOf(MustSimplex(v(0, "a")), MustSimplex(v(0, "b")))
-	b := ComplexOf(MustSimplex(v(1, "x")), MustSimplex(v(1, "y")))
+	a := ComplexOf(mustSimplex(v(0, "a")), mustSimplex(v(0, "b")))
+	b := ComplexOf(mustSimplex(v(1, "x")), mustSimplex(v(1, "y")))
 	j, err := a.Join(b)
 	if err != nil {
 		t.Fatalf("join: %v", err)
@@ -105,8 +105,8 @@ func TestVerifyIsomorphismIdentity(t *testing.T) {
 }
 
 func TestVerifyIsomorphismRelabel(t *testing.T) {
-	a := ComplexOf(MustSimplex(v(0, "x"), v(1, "y")))
-	b := ComplexOf(MustSimplex(v(0, "u"), v(1, "w")))
+	a := ComplexOf(mustSimplex(v(0, "x"), v(1, "y")))
+	b := ComplexOf(mustSimplex(v(0, "u"), v(1, "w")))
 	m := VertexMap{v(0, "x"): v(0, "u"), v(1, "y"): v(1, "w")}
 	if err := VerifyIsomorphism(a, b, m); err != nil {
 		t.Fatalf("relabeling is an isomorphism: %v", err)
@@ -120,25 +120,25 @@ func TestVerifyIsomorphismRelabel(t *testing.T) {
 func TestChromaticIsomorphic(t *testing.T) {
 	// Two 4-cycles with different labels are chromatically isomorphic.
 	a := ComplexOf(
-		MustSimplex(v(0, "0"), v(1, "0")),
-		MustSimplex(v(1, "0"), v(0, "1")),
-		MustSimplex(v(0, "1"), v(1, "1")),
-		MustSimplex(v(1, "1"), v(0, "0")),
+		mustSimplex(v(0, "0"), v(1, "0")),
+		mustSimplex(v(1, "0"), v(0, "1")),
+		mustSimplex(v(0, "1"), v(1, "1")),
+		mustSimplex(v(1, "1"), v(0, "0")),
 	)
 	b := ComplexOf(
-		MustSimplex(v(0, "p"), v(1, "q")),
-		MustSimplex(v(1, "q"), v(0, "r")),
-		MustSimplex(v(0, "r"), v(1, "s")),
-		MustSimplex(v(1, "s"), v(0, "p")),
+		mustSimplex(v(0, "p"), v(1, "q")),
+		mustSimplex(v(1, "q"), v(0, "r")),
+		mustSimplex(v(0, "r"), v(1, "s")),
+		mustSimplex(v(1, "s"), v(0, "p")),
 	)
 	if !ChromaticIsomorphic(a, b) {
 		t.Fatal("isomorphic complexes not recognized")
 	}
 	// A path of three edges is not isomorphic to the 4-cycle.
 	c := ComplexOf(
-		MustSimplex(v(0, "0"), v(1, "0")),
-		MustSimplex(v(1, "0"), v(0, "1")),
-		MustSimplex(v(0, "1"), v(1, "1")),
+		mustSimplex(v(0, "0"), v(1, "0")),
+		mustSimplex(v(1, "0"), v(0, "1")),
+		mustSimplex(v(0, "1"), v(1, "1")),
 	)
 	if ChromaticIsomorphic(a, c) {
 		t.Fatal("non-isomorphic complexes reported isomorphic")
@@ -175,7 +175,7 @@ func TestUnionCommutesQuick(t *testing.T) {
 		for _, e := range edges {
 			a := Vertex{P: 0, Label: string(rune('a' + e[0]%3))}
 			b := Vertex{P: 1, Label: string(rune('a' + e[1]%3))}
-			c.Add(MustSimplex(a, b))
+			c.Add(mustSimplex(a, b))
 		}
 		return c
 	}

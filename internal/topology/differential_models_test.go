@@ -22,7 +22,7 @@ func diffInput(n int) topology.Simplex {
 	for i := range verts {
 		verts[i] = topology.Vertex{P: i, Label: fmt.Sprintf("v%d", i)}
 	}
-	return topology.MustSimplex(verts...)
+	return mustSimplex(verts...)
 }
 
 func referenceOf(c *topology.Complex) *topology.ReferenceComplex {

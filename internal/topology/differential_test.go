@@ -23,7 +23,7 @@ func randomSimplex(rng *rand.Rand, maxP int, labels []string) Simplex {
 		used[p] = true
 		verts = append(verts, Vertex{P: p, Label: labels[rng.Intn(len(labels))]})
 	}
-	return MustSimplex(verts...)
+	return mustSimplex(verts...)
 }
 
 func compareRepresentations(t *testing.T, ctx string, c *Complex, ref *ReferenceComplex) {

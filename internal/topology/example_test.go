@@ -9,7 +9,7 @@ import (
 // ExampleComplexOf shows face closure: adding a triangle adds its edges
 // and vertices.
 func ExampleComplexOf() {
-	tri := topology.MustSimplex(
+	tri := mustSimplex(
 		topology.Vertex{P: 0, Label: "a"},
 		topology.Vertex{P: 1, Label: "b"},
 		topology.Vertex{P: 2, Label: "c"},
@@ -25,11 +25,11 @@ func ExampleComplexOf() {
 // ExampleSimplex_Intersect shows the shared face of two global states —
 // the paper's notion of similarity.
 func ExampleSimplex_Intersect() {
-	s := topology.MustSimplex(
+	s := mustSimplex(
 		topology.Vertex{P: 0, Label: "x"},
 		topology.Vertex{P: 1, Label: "y"},
 	)
-	t := topology.MustSimplex(
+	t := mustSimplex(
 		topology.Vertex{P: 0, Label: "x"},
 		topology.Vertex{P: 1, Label: "z"},
 	)
@@ -39,7 +39,7 @@ func ExampleSimplex_Intersect() {
 
 // ExampleBarycentricSubdivision subdivides a triangle.
 func ExampleBarycentricSubdivision() {
-	tri := topology.MustSimplex(
+	tri := mustSimplex(
 		topology.Vertex{P: 0, Label: "a"},
 		topology.Vertex{P: 1, Label: "b"},
 		topology.Vertex{P: 2, Label: "c"},

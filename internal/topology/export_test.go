@@ -20,7 +20,7 @@ func TestToDOT(t *testing.T) {
 }
 
 func TestJSONRoundTrip(t *testing.T) {
-	c := ComplexOf(triangle(), MustSimplex(v(3, "d")))
+	c := ComplexOf(triangle(), mustSimplex(v(3, "d")))
 	data, err := c.ToJSON()
 	if err != nil {
 		t.Fatal(err)

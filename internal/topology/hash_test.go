@@ -10,8 +10,8 @@ func hv(p int, label string) Vertex { return Vertex{P: p, Label: label} }
 func TestCanonicalHashEqualComplexesAgree(t *testing.T) {
 	build := func() *Complex {
 		c := NewComplex()
-		c.Add(MustSimplex(hv(0, "a"), hv(1, "b"), hv(2, "c")))
-		c.Add(MustSimplex(hv(0, "a"), hv(1, "x")))
+		c.Add(mustSimplex(hv(0, "a"), hv(1, "b"), hv(2, "c")))
+		c.Add(mustSimplex(hv(0, "a"), hv(1, "x")))
 		return c
 	}
 	a, b := build(), build()
@@ -20,8 +20,8 @@ func TestCanonicalHashEqualComplexesAgree(t *testing.T) {
 	}
 	// Insertion order must not matter.
 	d := NewComplex()
-	d.Add(MustSimplex(hv(0, "a"), hv(1, "x")))
-	d.Add(MustSimplex(hv(0, "a"), hv(1, "b"), hv(2, "c")))
+	d.Add(mustSimplex(hv(0, "a"), hv(1, "x")))
+	d.Add(mustSimplex(hv(0, "a"), hv(1, "b"), hv(2, "c")))
 	if a.CanonicalHash() != d.CanonicalHash() {
 		t.Fatal("insertion order changed the hash")
 	}
@@ -31,10 +31,10 @@ func TestCanonicalHashEqualComplexesAgree(t *testing.T) {
 }
 
 func TestCanonicalHashDistinguishes(t *testing.T) {
-	tri := ComplexOf(MustSimplex(hv(0, "a"), hv(1, "b"), hv(2, "c")))
+	tri := ComplexOf(mustSimplex(hv(0, "a"), hv(1, "b"), hv(2, "c")))
 	hollow := NewComplex()
 	for i := 0; i < 3; i++ {
-		hollow.Add(MustSimplex(hv(0, "a"), hv(1, "b"), hv(2, "c")).Face(i))
+		hollow.Add(mustSimplex(hv(0, "a"), hv(1, "b"), hv(2, "c")).Face(i))
 	}
 	if tri.CanonicalHash() == hollow.CanonicalHash() {
 		t.Fatal("solid and hollow triangle hash equal")
@@ -51,8 +51,8 @@ func TestCanonicalHashDistinguishes(t *testing.T) {
 // label containing the separator characters cannot make two different
 // complexes encode identically.
 func TestFacetEncodingLengthPrefixed(t *testing.T) {
-	a := ComplexOf(MustSimplex(hv(0, "x;1:y")))
-	b := ComplexOf(MustSimplex(hv(0, "x")), MustSimplex(hv(1, "y")))
+	a := ComplexOf(mustSimplex(hv(0, "x;1:y")))
+	b := ComplexOf(mustSimplex(hv(0, "x")), mustSimplex(hv(1, "y")))
 	if a.FacetEncoding() == b.FacetEncoding() {
 		t.Fatal("separator injection collided two encodings")
 	}
@@ -62,7 +62,7 @@ func TestFacetEncodingLengthPrefixed(t *testing.T) {
 }
 
 func TestFacetEncodingMatchesEqual(t *testing.T) {
-	a := ComplexOf(MustSimplex(hv(0, "a"), hv(1, "b")), MustSimplex(hv(1, "b"), hv(2, "c")))
+	a := ComplexOf(mustSimplex(hv(0, "a"), hv(1, "b")), mustSimplex(hv(1, "b"), hv(2, "c")))
 	b := a.Union(NewComplex())
 	if !a.Equal(b) || a.FacetEncoding() != b.FacetEncoding() {
 		t.Fatal("Equal complexes must share a facet encoding")

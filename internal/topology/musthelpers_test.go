@@ -1,0 +1,11 @@
+package topology
+
+// mustSimplex is NewSimplex for statically-correct test inputs; it
+// panics on error so call sites stay one-line literals.
+func mustSimplex(vs ...Vertex) Simplex {
+	s, err := NewSimplex(vs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -4,9 +4,9 @@ import "testing"
 
 func circle3() *Complex {
 	return ComplexOf(
-		MustSimplex(v(0, "a"), v(1, "b")),
-		MustSimplex(v(1, "b"), v(2, "c")),
-		MustSimplex(v(0, "a"), v(2, "c")),
+		mustSimplex(v(0, "a"), v(1, "b")),
+		mustSimplex(v(1, "b"), v(2, "c")),
+		mustSimplex(v(0, "a"), v(2, "c")),
 	)
 }
 
@@ -30,7 +30,7 @@ func TestConeAddsApexToEverySimplex(t *testing.T) {
 
 func TestSuspensionStructure(t *testing.T) {
 	// Suspension of two points (S^0) is a circle (S^1).
-	two := ComplexOf(MustSimplex(v(0, "a")), MustSimplex(v(0, "b")))
+	two := ComplexOf(mustSimplex(v(0, "a")), mustSimplex(v(0, "b")))
 	sus, err := Suspension(two, v(1, "n"), v(2, "s"))
 	if err != nil {
 		t.Fatal(err)
@@ -46,9 +46,9 @@ func TestSuspensionStructure(t *testing.T) {
 
 func TestConnectedComponents(t *testing.T) {
 	c := ComplexOf(
-		MustSimplex(v(0, "a"), v(1, "b")),
-		MustSimplex(v(0, "x"), v(1, "y"), v(2, "z")),
-		MustSimplex(v(2, "solo")),
+		mustSimplex(v(0, "a"), v(1, "b")),
+		mustSimplex(v(0, "x"), v(1, "y"), v(2, "z")),
+		mustSimplex(v(2, "solo")),
 	)
 	comps := c.ConnectedComponents()
 	if len(comps) != 3 {
@@ -89,7 +89,7 @@ func TestConeSizeQuick(t *testing.T) {
 		c := NewComplex()
 		for a := 0; a < labels; a++ {
 			for b := 0; b < labels; b++ {
-				c.Add(MustSimplex(
+				c.Add(mustSimplex(
 					Vertex{P: 0, Label: string(rune('a' + a))},
 					Vertex{P: 1, Label: string(rune('a' + b))},
 				))

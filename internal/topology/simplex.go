@@ -69,16 +69,6 @@ func NewSimplex(vs ...Vertex) (Simplex, error) {
 	return out, nil
 }
 
-// MustSimplex is NewSimplex for statically-correct inputs; it panics on
-// error. Intended for tests and literals.
-func MustSimplex(vs ...Vertex) Simplex {
-	s, err := NewSimplex(vs...)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Dim returns the dimension of the simplex: one less than the number of
 // vertices. The empty simplex has dimension -1.
 func (s Simplex) Dim() int { return len(s) - 1 }

@@ -40,7 +40,7 @@ func TestNewSimplexCollapsesDuplicates(t *testing.T) {
 }
 
 func TestSimplexFaces(t *testing.T) {
-	s := MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
+	s := mustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
 	f := s.Face(1)
 	if f.Dim() != 1 || f.HasID(1) {
 		t.Fatalf("Face(1) = %v", f)
@@ -57,7 +57,7 @@ func TestSimplexFaces(t *testing.T) {
 }
 
 func TestSimplexWithoutAndRestrict(t *testing.T) {
-	s := MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
+	s := mustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
 	if got := s.WithoutID(1); got.Dim() != 1 || got.HasID(1) {
 		t.Fatalf("WithoutID = %v", got)
 	}
@@ -70,8 +70,8 @@ func TestSimplexWithoutAndRestrict(t *testing.T) {
 }
 
 func TestSimplexIntersect(t *testing.T) {
-	s := MustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
-	u := MustSimplex(v(0, "a"), v(1, "x"), v(3, "d"))
+	s := mustSimplex(v(0, "a"), v(1, "b"), v(2, "c"))
+	u := mustSimplex(v(0, "a"), v(1, "x"), v(3, "d"))
 	got := s.Intersect(u)
 	if got.Dim() != 0 || !got.HasVertex(v(0, "a")) {
 		t.Fatalf("Intersect = %v", got)
@@ -79,24 +79,24 @@ func TestSimplexIntersect(t *testing.T) {
 }
 
 func TestSimplexJoin(t *testing.T) {
-	s := MustSimplex(v(0, "a"))
-	u := MustSimplex(v(1, "b"))
+	s := mustSimplex(v(0, "a"))
+	u := mustSimplex(v(1, "b"))
 	j, err := s.Join(u)
 	if err != nil || j.Dim() != 1 {
 		t.Fatalf("Join = %v, %v", j, err)
 	}
-	if _, err := s.Join(MustSimplex(v(0, "z"))); err == nil {
+	if _, err := s.Join(mustSimplex(v(0, "z"))); err == nil {
 		t.Fatal("expected join conflict error")
 	}
 }
 
 func TestSimplexKeyInjective(t *testing.T) {
-	a := MustSimplex(v(0, "a"), v(1, "b"))
-	b := MustSimplex(v(0, "a"), v(1, "c"))
+	a := mustSimplex(v(0, "a"), v(1, "b"))
+	b := mustSimplex(v(0, "a"), v(1, "c"))
 	if a.Key() == b.Key() {
 		t.Fatal("distinct simplexes share a key")
 	}
-	if !a.Equal(MustSimplex(v(1, "b"), v(0, "a"))) {
+	if !a.Equal(mustSimplex(v(1, "b"), v(0, "a"))) {
 		t.Fatal("order-insensitive equality failed")
 	}
 }
@@ -110,7 +110,7 @@ func TestFacePropertyQuick(t *testing.T) {
 		for i, l := range labels {
 			vs = append(vs, Vertex{P: i, Label: string(rune('a' + l%4))})
 		}
-		s := MustSimplex(vs...)
+		s := mustSimplex(vs...)
 		i := int(omit) % len(s)
 		f := s.Face(i)
 		if !f.IsFaceOf(s) {

@@ -24,11 +24,15 @@ func BarycentricSubdivision(c *Complex) (*Complex, map[Vertex]Simplex) {
 	var extend func(chain []Simplex, top Simplex)
 	extend = func(chain []Simplex, top Simplex) {
 		if top.Dim() == 0 {
-			vs := make([]Vertex, len(chain))
+			// chain runs facet -> ... -> vertex with strictly decreasing
+			// dimensions, and subdivision vertices are colored by carrier
+			// dimension, so filling in reverse yields a simplex already
+			// sorted by distinct process ids — no validation needed.
+			vs := make(Simplex, len(chain))
 			for i, s := range chain {
-				vs[i] = vertexFor(s)
+				vs[len(chain)-1-i] = vertexFor(s)
 			}
-			sd.Add(MustSimplex(vs...))
+			sd.Add(vs)
 			return
 		}
 		for i := range top {
