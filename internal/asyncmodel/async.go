@@ -14,6 +14,7 @@ import (
 
 	"pseudosphere/internal/core"
 	"pseudosphere/internal/pc"
+	"pseudosphere/internal/roundop"
 	"pseudosphere/internal/topology"
 	"pseudosphere/internal/views"
 )
@@ -46,9 +47,7 @@ func OneRound(input topology.Simplex, p Params) (*pc.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	res := pc.NewResult()
-	appendOneRound(res, pc.InputViews(input), p)
-	return res, nil
+	return roundop.OneRound(p.Operator(), input)
 }
 
 // oneRoundOptions precomputes, for every participant, the next-round view
@@ -83,28 +82,6 @@ func oneRoundOptions(cur []*views.View, p Params) [][]pc.Option {
 	return opts
 }
 
-// appendOneRound adds every one-round facet reachable from the given
-// participant views to res and returns the facets as view lists.
-func appendOneRound(res *pc.Result, cur []*views.View, p Params) [][]*views.View {
-	opts := oneRoundOptions(cur, p)
-	if opts == nil {
-		return nil
-	}
-	var facets [][]*views.View
-	idx := make([]int, len(cur))
-	verts := make([]topology.Vertex, len(cur))
-	for {
-		facet := make([]*views.View, len(cur))
-		pc.FillFacet(facet, verts, opts, idx)
-		res.AddFacetVertices(verts, facet)
-		facets = append(facets, facet)
-		if !pc.Advance(idx, opts) {
-			break
-		}
-	}
-	return facets
-}
-
 // Rounds returns A^r(S): the union of A^{r-1}(T) over the facets T of
 // A^1(S), per the inductive definition of Section 6. (Unioning over facets
 // suffices: for T' a face of T, A^{r-1}(T') is a subcomplex of A^{r-1}(T),
@@ -117,29 +94,10 @@ func Rounds(input topology.Simplex, p Params, r int) (*pc.Result, error) {
 	if r < 0 {
 		return nil, fmt.Errorf("asyncmodel: negative round count %d", r)
 	}
-	res := pc.NewResult()
-	m := len(input) - 1
-	if m < p.N-p.F {
-		return res, nil
+	if len(input)-1 < p.N-p.F {
+		return pc.NewResult(), nil
 	}
-	roundsRec(res, pc.InputViews(input), p, r)
-	return res, nil
-}
-
-func roundsRec(res *pc.Result, cur []*views.View, p Params, r int) {
-	if r == 0 {
-		res.AddFacet(cur)
-		return
-	}
-	// Intermediate rounds only thread views forward; only the final round's
-	// global states become simplexes of the r-round complex.
-	scratch := res
-	if r > 1 {
-		scratch = pc.NewResult()
-	}
-	for _, facet := range appendOneRound(scratch, cur, p) {
-		roundsRec(res, facet, p, r-1)
-	}
+	return roundop.Rounds(p.Operator(), input, r)
 }
 
 // subsetsOfViews enumerates all subsets of vs of size at least minSize.

@@ -142,7 +142,7 @@ func TestRoundsFacetsSuffice(t *testing.T) {
 		for i, vert := range sim {
 			cur[i] = oneRound.Views[vert]
 		}
-		appendOneRound(all, cur, p)
+		legacyAppendOneRound(all, cur, p)
 	}
 	if !viaFacets.Complex.Equal(all.Complex) {
 		t.Fatalf("facet induction differs from all-simplex induction: %v vs %v",

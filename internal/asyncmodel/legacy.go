@@ -1,0 +1,67 @@
+package asyncmodel
+
+import (
+	"fmt"
+
+	"pseudosphere/internal/pc"
+	"pseudosphere/internal/topology"
+	"pseudosphere/internal/views"
+)
+
+// LegacySerialRounds is the pre-engine serial construction of A^r(S),
+// retained verbatim as a reference implementation: the differential tests
+// pin the roundop engine's output against it hash for hash at every worker
+// count. It shares oneRoundOptions with the engine adapter, so the two
+// paths differ only in enumeration machinery.
+func LegacySerialRounds(input topology.Simplex, p Params, r int) (*pc.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("asyncmodel: negative round count %d", r)
+	}
+	res := pc.NewResult()
+	if len(input)-1 < p.N-p.F {
+		return res, nil
+	}
+	legacyRoundsRec(res, pc.InputViews(input), p, r)
+	return res, nil
+}
+
+// legacyAppendOneRound adds every one-round facet reachable from the given
+// participant views to res and returns the facets as view lists.
+func legacyAppendOneRound(res *pc.Result, cur []*views.View, p Params) [][]*views.View {
+	opts := oneRoundOptions(cur, p)
+	if opts == nil {
+		return nil
+	}
+	var facets [][]*views.View
+	idx := make([]int, len(cur))
+	verts := make([]topology.Vertex, len(cur))
+	for {
+		facet := make([]*views.View, len(cur))
+		pc.FillFacet(facet, verts, opts, idx)
+		res.AddFacetVertices(verts, facet)
+		facets = append(facets, facet)
+		if !pc.Advance(idx, opts) {
+			break
+		}
+	}
+	return facets
+}
+
+func legacyRoundsRec(res *pc.Result, cur []*views.View, p Params, r int) {
+	if r == 0 {
+		res.AddFacet(cur)
+		return
+	}
+	// Intermediate rounds only thread views forward; only the final round's
+	// global states become simplexes of the r-round complex.
+	scratch := res
+	if r > 1 {
+		scratch = pc.NewResult()
+	}
+	for _, facet := range legacyAppendOneRound(scratch, cur, p) {
+		legacyRoundsRec(res, facet, p, r-1)
+	}
+}

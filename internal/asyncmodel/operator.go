@@ -1,0 +1,28 @@
+package asyncmodel
+
+import (
+	"pseudosphere/internal/roundop"
+	"pseudosphere/internal/views"
+)
+
+// Operator returns the asynchronous model as a round operator for the
+// shared engine. One asynchronous round has a single branch — the
+// adversary makes no coarse choice; every participant just independently
+// picks an admissible heard set — and the failure bound is global, so the
+// continuation uses the same operator (Section 6: n and f are unchanged
+// when the construction recurses into executions with fewer participants).
+func (p Params) Operator() roundop.Operator {
+	return asyncOperator{p: p}
+}
+
+type asyncOperator struct {
+	p Params
+}
+
+func (o asyncOperator) Branches(cur []*views.View) ([]roundop.Branch, error) {
+	opts := oneRoundOptions(cur, o.p)
+	if opts == nil {
+		return nil, nil
+	}
+	return []roundop.Branch{{Opts: opts, Next: o}}, nil
+}

@@ -3,18 +3,11 @@ package asyncmodel
 import (
 	"context"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
-	"pseudosphere/internal/obs"
 	"pseudosphere/internal/pc"
+	"pseudosphere/internal/roundop"
 	"pseudosphere/internal/topology"
-	"pseudosphere/internal/views"
 )
-
-// parallelThreshold is the smallest one-round facet count worth sharding;
-// below it goroutine startup and shard merging outweigh the enumeration.
-const parallelThreshold = 256
 
 // OneRoundParallel is OneRound with facet generation sharded over workers.
 func OneRoundParallel(input topology.Simplex, p Params, workers int) (*pc.Result, error) {
@@ -27,22 +20,18 @@ func OneRoundParallelCtx(ctx context.Context, input topology.Simplex, p Params, 
 	return RoundsParallelCtx(ctx, input, p, 1, workers)
 }
 
-// RoundsParallel is Rounds with the first-round product space split across
-// a worker pool: each worker enumerates a slice of the linear index range,
-// closing faces into a private complex, and the shards are merged at the
-// end. The resulting complex and view map are independent of worker count
-// and scheduling — the complex is a set and every accessor sorts — so
+// RoundsParallel is Rounds built by the shared roundop engine's worker
+// pool; the result is independent of worker count and scheduling and its
 // CanonicalHash agrees bit for bit with the serial construction.
 func RoundsParallel(input topology.Simplex, p Params, r int, workers int) (*pc.Result, error) {
 	return RoundsParallelCtx(context.Background(), input, p, r, workers)
 }
 
 // RoundsParallelCtx is RoundsParallel threaded with a context: workers
-// observe cancellation at the next chunk boundary (at most one chunk of
-// work after ctx fires), the call returns ctx.Err(), and an obs.Tracker
-// carried by the context (obs.FromContext) has its "facets" counter bumped
-// chunk by chunk. With an uncancellable context and workers <= 1 the call
-// is exactly the serial Rounds.
+// observe cancellation at the next shard boundary, the call returns
+// ctx.Err(), and an obs.Tracker carried by the context has its "facets"
+// counter bumped shard by shard. With an uncancellable context and
+// workers <= 1 the call is exactly the serial Rounds.
 func RoundsParallelCtx(ctx context.Context, input topology.Simplex, p Params, r int, workers int) (*pc.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -50,88 +39,8 @@ func RoundsParallelCtx(ctx context.Context, input topology.Simplex, p Params, r 
 	if r < 0 {
 		return nil, fmt.Errorf("asyncmodel: negative round count %d", r)
 	}
-	cancellable := ctx.Done() != nil
-	if (workers <= 1 && !cancellable) || r == 0 {
-		return Rounds(input, p, r)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	res := pc.NewResult()
 	if len(input)-1 < p.N-p.F {
-		return res, nil
+		return pc.NewResult(), nil
 	}
-	cur := pc.InputViews(input)
-	// Building the options here also pre-encodes every option view, so the
-	// workers only ever read the shared views.
-	opts := oneRoundOptions(cur, p)
-	total := pc.ProductSize(opts)
-	if r == 1 && total < parallelThreshold && !cancellable {
-		roundsRec(res, cur, p, r)
-		return res, nil
-	}
-	chunk := int64(128)
-	if r > 1 {
-		// Each first-round facet expands into a whole (r-1)-round subtree;
-		// fine-grained dispatch keeps the workers balanced.
-		chunk = 1
-	}
-	var cancelled atomic.Bool
-	if cancellable {
-		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
-		defer stop()
-	}
-	facetCtr := obs.FromContext(ctx).Counter("facets")
-	nw := int64(workers)
-	if nw > total {
-		nw = total
-	}
-	locals := make([]*pc.Result, nw)
-	var cursor int64
-	var wg sync.WaitGroup
-	for w := range locals {
-		local := pc.NewResult()
-		locals[w] = local
-		wg.Add(1)
-		go func(local *pc.Result) {
-			defer wg.Done()
-			idx := make([]int, len(cur))
-			verts := make([]topology.Vertex, len(cur))
-			facet := make([]*views.View, len(cur))
-			for {
-				if cancelled.Load() {
-					return
-				}
-				lo := atomic.AddInt64(&cursor, chunk) - chunk
-				if lo >= total {
-					return
-				}
-				hi := lo + chunk
-				if hi > total {
-					hi = total
-				}
-				pc.DecodeIndex(idx, opts, lo)
-				for li := lo; li < hi; li++ {
-					pc.FillFacet(facet, verts, opts, idx)
-					if r == 1 {
-						local.AddFacetVertices(verts, facet)
-					} else {
-						roundsRec(local, facet, p, r-1)
-					}
-					pc.Advance(idx, opts)
-				}
-				facetCtr.Add(uint64(hi - lo))
-			}
-		}(local)
-	}
-	wg.Wait()
-	if cancelled.Load() {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-	}
-	for _, l := range locals {
-		res.Merge(l)
-	}
-	return res, nil
+	return roundop.RoundsParallelCtx(ctx, p.Operator(), input, r, workers)
 }

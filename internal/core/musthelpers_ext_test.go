@@ -1,16 +1,6 @@
 package core_test
 
-import (
-	"pseudosphere/internal/core"
-	"pseudosphere/internal/topology"
-)
+import "pseudosphere/internal/testutil/coreutil"
 
-// mustUniform is core.Uniform for statically-correct test inputs; it
-// panics on error.
-func mustUniform(base topology.Simplex, set []string) *topology.Complex {
-	c, err := core.Uniform(base, set)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
+// mustUniform binds the shared test constructor; see internal/testutil.
+var mustUniform = coreutil.MustUniform

@@ -1,21 +1,15 @@
 package core
 
 import (
+	"pseudosphere/internal/testutil"
 	"pseudosphere/internal/topology"
 )
 
-// mustSimplex is topology.NewSimplex for statically-correct test
-// inputs; it panics on error so call sites stay one-line literals.
-func mustSimplex(vs ...topology.Vertex) topology.Simplex {
-	s, err := topology.NewSimplex(vs...)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
+// mustSimplex binds the shared test constructor; see internal/testutil.
+// mustUniform and mustPseudosphere cannot come from testutil/coreutil,
+// which imports core: they stay local to break the cycle.
+var mustSimplex = testutil.MustSimplex
 
-// mustUniform is Uniform for statically-correct test inputs; it panics
-// on error.
 func mustUniform(base topology.Simplex, set []string) *topology.Complex {
 	c, err := Uniform(base, set)
 	if err != nil {
@@ -24,8 +18,6 @@ func mustUniform(base topology.Simplex, set []string) *topology.Complex {
 	return c
 }
 
-// mustPseudosphere is Pseudosphere for statically-correct test inputs;
-// it panics on error.
 func mustPseudosphere(base topology.Simplex, sets [][]string) *topology.Complex {
 	c, err := Pseudosphere(base, sets)
 	if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"pseudosphere/internal/homology"
+	"pseudosphere/internal/roundop"
 	"pseudosphere/internal/topology"
 )
 
@@ -100,4 +101,32 @@ func Theorem7Check(p ProtocolMap, base topology.Simplex, families [][]string, c 
 // Theorem7Check yields Corollaries 6 and 8.
 func IdentityProtocol(s topology.Simplex) *topology.Complex {
 	return topology.ComplexOf(s)
+}
+
+// OperatorProtocol adapts any round operator to the ProtocolMap shape
+// quantified over in Theorems 5 and 7, so the connectivity-transfer
+// theorems are checked against the shared engine itself rather than
+// per-model shims: P(S) is the engine's r-round complex over S. opFor maps
+// each input simplex to the operator governing executions in which exactly
+// its processes participate — models whose absent processes consume
+// failure budget return a face-dependent operator (or nil for an empty
+// subcomplex); models with global parameters ignore the argument.
+// Enumeration errors (none are expected from the in-tree operators) are
+// recorded once in *errOut when non-nil, and the offending input
+// contributes an empty complex so the ProtocolMap shape is preserved.
+func OperatorProtocol(opFor func(topology.Simplex) roundop.Operator, r int, errOut *error) ProtocolMap {
+	return func(s topology.Simplex) *topology.Complex {
+		op := opFor(s)
+		if op == nil {
+			return topology.NewComplex()
+		}
+		res, err := roundop.Rounds(op, s, r)
+		if err != nil {
+			if errOut != nil && *errOut == nil {
+				*errOut = err
+			}
+			return topology.NewComplex()
+		}
+		return res.Complex
+	}
 }

@@ -6,40 +6,51 @@ import (
 	"pseudosphere/internal/asyncmodel"
 	"pseudosphere/internal/core"
 	"pseudosphere/internal/homology"
+	"pseudosphere/internal/roundop"
 	"pseudosphere/internal/syncmodel"
 	"pseudosphere/internal/topology"
 )
 
-// asyncOneRoundMap adapts the asynchronous one-round construction to a
-// core.ProtocolMap.
-func asyncOneRoundMap(n, f int) core.ProtocolMap {
-	return func(s topology.Simplex) *topology.Complex {
-		res, err := asyncmodel.OneRound(s, asyncmodel.Params{N: n, F: f})
+// asyncOneRoundMap adapts the asynchronous one-round operator through the
+// shared engine (core.OperatorProtocol), so Theorems 5 and 7 are exercised
+// against the engine itself. n and f are global in the async model, so the
+// operator is face-independent.
+func asyncOneRoundMap(t *testing.T, n, f int) core.ProtocolMap {
+	t.Helper()
+	var err error
+	p := core.OperatorProtocol(func(topology.Simplex) roundop.Operator {
+		return asyncmodel.Params{N: n, F: f}.Operator()
+	}, 1, &err)
+	t.Cleanup(func() {
 		if err != nil {
-			panic(err)
+			t.Fatal(err)
 		}
-		return res.Complex
-	}
+	})
+	return p
 }
 
-// syncOneRoundMap adapts the synchronous one-round construction. Per the
+// syncOneRoundMap adapts the synchronous one-round operator. Per the
 // paper's convention, P(S^l) is the subcomplex of executions where only
 // ids(S^l) participate: the n-l missing processes fail before sending,
 // consuming that much of the round's failure budget k, so only k-(n-l)
 // further crashes may occur among the participants; below l = n-k the
-// subcomplex is empty.
-func syncOneRoundMap(n, k int) core.ProtocolMap {
-	return func(s topology.Simplex) *topology.Complex {
+// subcomplex is empty (a nil operator).
+func syncOneRoundMap(t *testing.T, n, k int) core.ProtocolMap {
+	t.Helper()
+	var err error
+	p := core.OperatorProtocol(func(s topology.Simplex) roundop.Operator {
 		remaining := k - (n - s.Dim())
 		if remaining < 0 {
-			return topology.NewComplex()
+			return nil
 		}
-		res, err := syncmodel.OneRound(s, syncmodel.Params{PerRound: remaining, Total: remaining})
+		return syncmodel.Params{PerRound: remaining, Total: remaining}.Operator()
+	}, 1, &err)
+	t.Cleanup(func() {
 		if err != nil {
-			panic(err)
+			t.Fatal(err)
 		}
-		return res.Complex
-	}
+	})
+	return p
 }
 
 // TestTheorem5Identity recovers Corollary 6: the identity protocol
@@ -71,7 +82,7 @@ func TestTheorem5Async(t *testing.T) {
 	n, f := 2, 1
 	base := core.ProcessSimplex(n)
 	c := n - f
-	hyp, concl, err := core.Theorem5Check(asyncOneRoundMap(n, f), base,
+	hyp, concl, err := core.Theorem5Check(asyncOneRoundMap(t, n, f), base,
 		[][]string{{"0", "1"}, {"0", "1"}, {"0", "1"}}, c)
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +101,7 @@ func TestTheorem5Sync(t *testing.T) {
 	n, k := 2, 1
 	base := core.ProcessSimplex(n)
 	c := n - k
-	hyp, concl, err := core.Theorem5Check(syncOneRoundMap(n, k), base,
+	hyp, concl, err := core.Theorem5Check(syncOneRoundMap(t, n, k), base,
 		[][]string{{"0", "1"}, {"0", "1"}, {"0", "1"}}, c)
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +147,7 @@ func TestTheorem7Identity(t *testing.T) {
 func TestTheorem7Async(t *testing.T) {
 	n, f := 2, 1
 	base := core.ProcessSimplex(n)
-	hyp, concl, err := core.Theorem7Check(asyncOneRoundMap(n, f), base,
+	hyp, concl, err := core.Theorem7Check(asyncOneRoundMap(t, n, f), base,
 		[][]string{{"0", "1"}, {"1", "2"}}, n-f)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,161 @@
+// Package custommodel demonstrates the round-operator extension seam: a
+// complete message-passing model added to the repository purely as an
+// adapter, with no enumeration, sharding, or merge code of its own. The
+// model is synchronous lockstep with a per-round failure budget only — at
+// most k processes crash in any single round, with no cumulative cap, so
+// over r rounds up to r*k processes may fail. Each round's branches are
+// the failure sets K of the current participants, each survivor hearing
+// all survivors and an arbitrary subset of K (the Lemma 14 labeling); the
+// continuation operator is the model itself, budget undiminished. It
+// follows that CustomRounds(S, k, r) equals the Section 7 complex
+// S^r(S) with PerRound=k and Total=r*k (the cumulative budget never
+// binds), which the tests pin hash for hash.
+package custommodel
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"pseudosphere/internal/pc"
+	"pseudosphere/internal/roundop"
+	"pseudosphere/internal/topology"
+	"pseudosphere/internal/views"
+)
+
+// Params fixes the model: at most PerRound crashes in any single round.
+type Params struct {
+	PerRound int // k: maximum crashes per round
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.PerRound < 0 {
+		return fmt.Errorf("custommodel: per-round failure bound must be nonnegative, got %d", p.PerRound)
+	}
+	return nil
+}
+
+// Operator adapts the model to the shared engine. This is the entire
+// model-specific surface: everything else (serial and parallel
+// enumeration, cancellation, iteration) comes from roundop.
+func (p Params) Operator() roundop.Operator {
+	return customOperator{p: p}
+}
+
+type customOperator struct{ p Params }
+
+// Branches yields one branch per failure set K of the current
+// participants with |K| <= k. Survivors hear every survivor and
+// independently an arbitrary subset of K; the continuation is the same
+// operator, since the budget is per-round only.
+func (o customOperator) Branches(cur []*views.View) ([]roundop.Branch, error) {
+	ids := make([]int, len(cur))
+	byID := make(map[int]*views.View, len(cur))
+	for i, v := range cur {
+		ids[i] = v.P
+		byID[v.P] = v
+	}
+	sort.Ints(ids)
+	var branches []roundop.Branch
+	for _, fail := range failureSets(ids, o.p.PerRound) {
+		failSet := make(map[int]bool, len(fail))
+		for _, q := range fail {
+			failSet[q] = true
+		}
+		var survivors []*views.View
+		for _, v := range cur {
+			if !failSet[v.P] {
+				survivors = append(survivors, v)
+			}
+		}
+		if len(survivors) == 0 {
+			continue
+		}
+		subs := subsets(fail)
+		opts := make([][]pc.Option, len(survivors))
+		for i, sv := range survivors {
+			opts[i] = make([]pc.Option, len(subs))
+			for si, sub := range subs {
+				heard := make(map[int]*views.View, len(cur))
+				for _, w := range survivors {
+					heard[w.P] = w
+				}
+				for _, q := range sub {
+					heard[q] = byID[q]
+				}
+				opts[i][si] = pc.NewOption(views.Next(sv.P, heard))
+			}
+		}
+		branches = append(branches, roundop.Branch{Opts: opts, Next: o})
+	}
+	return branches, nil
+}
+
+// failureSets enumerates subsets of ids of size at most maxSize, by
+// cardinality then lexicographically (ids must be sorted).
+func failureSets(ids []int, maxSize int) [][]int {
+	n := len(ids)
+	if maxSize > n {
+		maxSize = n
+	}
+	var out [][]int
+	for size := 0; size <= maxSize; size++ {
+		var acc []int
+		var rec func(start int)
+		rec = func(start int) {
+			if len(acc) == size {
+				out = append(out, append([]int(nil), acc...))
+				return
+			}
+			for i := start; i < n; i++ {
+				acc = append(acc, ids[i])
+				rec(i + 1)
+				acc = acc[:len(acc)-1]
+			}
+		}
+		rec(0)
+	}
+	return out
+}
+
+// subsets enumerates all subsets of the (sorted) slice.
+func subsets(ids []int) [][]int {
+	out := [][]int{nil}
+	for _, q := range ids {
+		for _, s := range out[:len(out):len(out)] {
+			out = append(out, append(append([]int(nil), s...), q))
+		}
+	}
+	return out
+}
+
+// OneRound returns the one-round complex over input.
+func OneRound(input topology.Simplex, p Params) (*pc.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return roundop.OneRound(p.Operator(), input)
+}
+
+// Rounds returns the r-round complex over input.
+func Rounds(input topology.Simplex, p Params, r int) (*pc.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("custommodel: negative round count %d", r)
+	}
+	return roundop.Rounds(p.Operator(), input, r)
+}
+
+// RoundsParallelCtx is Rounds on the engine's worker pool, honoring ctx.
+func RoundsParallelCtx(ctx context.Context, input topology.Simplex, p Params, r int, workers int) (*pc.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("custommodel: negative round count %d", r)
+	}
+	return roundop.RoundsParallelCtx(ctx, p.Operator(), input, r, workers)
+}

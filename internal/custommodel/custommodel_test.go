@@ -1,0 +1,80 @@
+package custommodel
+
+import (
+	"fmt"
+	"testing"
+
+	"pseudosphere/internal/homology"
+	"pseudosphere/internal/syncmodel"
+	"pseudosphere/internal/testutil"
+)
+
+// TestEqualsSyncWithSlackBudget pins the model against Section 7: with a
+// per-round budget k and no cumulative cap, r rounds admit exactly the
+// executions of the synchronous model with Total = r*k, since that budget
+// can never bind. A full-complex hash equality, through two different
+// operators, is a strong check on the extension seam.
+func TestEqualsSyncWithSlackBudget(t *testing.T) {
+	cases := []struct{ n, k, r int }{
+		{2, 1, 1}, {3, 1, 1}, {3, 2, 1}, {2, 1, 2}, {3, 1, 2},
+	}
+	for _, tc := range cases {
+		in := testutil.Labeled(tc.n, "v")
+		got, err := Rounds(in, Params{PerRound: tc.k}, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := syncmodel.Rounds(in, syncmodel.Params{PerRound: tc.k, Total: tc.r * tc.k}, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("n=%d k=%d r=%d", tc.n, tc.k, tc.r)
+		if g, w := got.Complex.CanonicalHash(), want.Complex.CanonicalHash(); g != w {
+			t.Errorf("%s: custom hash %s != sync(f=rk) %s", name, g, w)
+		}
+		if len(got.Views) != len(want.Views) {
+			t.Errorf("%s: %d views != sync %d", name, len(got.Views), len(want.Views))
+		}
+	}
+}
+
+// TestParallelMatchesSerial: the engine's worker pool applies to the new
+// model with no further code.
+func TestParallelMatchesSerial(t *testing.T) {
+	in := testutil.Labeled(3, "v")
+	p := Params{PerRound: 1}
+	want, err := Rounds(in, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := RoundsParallelCtx(t.Context(), in, p, 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Complex.CanonicalHash() != want.Complex.CanonicalHash() {
+			t.Errorf("workers=%d: parallel disagrees with serial", workers)
+		}
+	}
+}
+
+// TestOneRoundConnectivity: one round with n >= 2k inherits Lemma 16
+// connectivity, k-1, since the one-round complexes coincide with S^1.
+func TestOneRoundConnectivity(t *testing.T) {
+	res, err := OneRound(testutil.Labeled(2, "v"), Params{PerRound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !homology.IsKConnected(res.Complex, 0) {
+		t.Fatal("one-round complex with n=2, k=1 must be connected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := Rounds(testutil.Labeled(1, "v"), Params{PerRound: -1}, 1); err == nil {
+		t.Fatal("negative budget must be rejected")
+	}
+	if _, err := Rounds(testutil.Labeled(1, "v"), Params{PerRound: 1}, -1); err == nil {
+		t.Fatal("negative round count must be rejected")
+	}
+}

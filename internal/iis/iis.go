@@ -23,9 +23,12 @@
 package iis
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"pseudosphere/internal/pc"
+	"pseudosphere/internal/roundop"
 	"pseudosphere/internal/topology"
 	"pseudosphere/internal/views"
 )
@@ -35,38 +38,10 @@ import (
 // global states in which each process sees the blocks up to and including
 // its own.
 func OneRound(input topology.Simplex) *pc.Result {
-	res := pc.NewResult()
-	appendOneRound(res, pc.InputViews(input))
+	// The IIS operator never errors and r = 1 is nonnegative, so the engine
+	// cannot fail; the historical signature stays error-free.
+	res, _ := roundop.OneRound(Operator(), input)
 	return res
-}
-
-// appendOneRound enumerates ordered partitions of cur and records each
-// resulting global state; it returns the facets as view lists.
-func appendOneRound(res *pc.Result, cur []*views.View) [][]*views.View {
-	byID := make(map[int]*views.View, len(cur))
-	ids := make([]int, len(cur))
-	for i, v := range cur {
-		byID[v.P] = v
-		ids[i] = v.P
-	}
-	var facets [][]*views.View
-	for _, partition := range OrderedPartitions(ids) {
-		facet := make([]*views.View, 0, len(cur))
-		var seen []int
-		for _, block := range partition {
-			seen = append(seen, block...)
-			for _, p := range block {
-				heard := make(map[int]*views.View, len(seen))
-				for _, q := range seen {
-					heard[q] = byID[q]
-				}
-				facet = append(facet, views.Next(p, heard))
-			}
-		}
-		res.AddFacet(facet)
-		facets = append(facets, facet)
-	}
-	return facets
 }
 
 // Rounds returns the r-round iterated immediate snapshot complex IIS_r
@@ -76,23 +51,69 @@ func Rounds(input topology.Simplex, r int) (*pc.Result, error) {
 	if r < 0 {
 		return nil, fmt.Errorf("iis: negative round count %d", r)
 	}
-	res := pc.NewResult()
-	roundsRec(res, pc.InputViews(input), r)
-	return res, nil
+	return roundop.Rounds(Operator(), input, r)
 }
 
-func roundsRec(res *pc.Result, cur []*views.View, r int) {
-	if r == 0 {
-		res.AddFacet(cur)
-		return
+// RoundsParallel is Rounds built by the shared roundop engine's worker
+// pool — a capability the per-model IIS constructor never had; the result
+// is independent of worker count and CanonicalHash-identical to the serial
+// construction.
+func RoundsParallel(input topology.Simplex, r int, workers int) (*pc.Result, error) {
+	return RoundsParallelCtx(context.Background(), input, r, workers)
+}
+
+// RoundsParallelCtx is RoundsParallel threaded with a context: workers
+// observe cancellation at the next shard boundary and the call returns
+// ctx.Err().
+func RoundsParallelCtx(ctx context.Context, input topology.Simplex, r int, workers int) (*pc.Result, error) {
+	if r < 0 {
+		return nil, fmt.Errorf("iis: negative round count %d", r)
 	}
-	scratch := res
-	if r > 1 {
-		scratch = pc.NewResult()
+	return roundop.RoundsParallelCtx(ctx, Operator(), input, r, workers)
+}
+
+// Operator returns the IIS model as a round operator for the shared
+// engine. One immediate-snapshot round has a branch per ordered partition
+// of the participants; unlike the message-passing models, the partition
+// determines every process's view outright, so each branch's option table
+// has exactly one option per position and the branch contributes a single
+// facet. The model is failure-bound-free: continuations reuse the same
+// operator.
+func Operator() roundop.Operator {
+	return iisOperator{}
+}
+
+type iisOperator struct{}
+
+func (o iisOperator) Branches(cur []*views.View) ([]roundop.Branch, error) {
+	byID := make(map[int]*views.View, len(cur))
+	ids := make([]int, len(cur))
+	for i, v := range cur {
+		byID[v.P] = v
+		ids[i] = v.P
 	}
-	for _, facet := range appendOneRound(scratch, cur) {
-		roundsRec(res, facet, r-1)
+	sort.Ints(ids)
+	pos := make(map[int]int, len(ids)) // process id -> option-table position
+	for i, q := range ids {
+		pos[q] = i
 	}
+	var out []roundop.Branch
+	for _, partition := range OrderedPartitions(ids) {
+		opts := make([][]pc.Option, len(ids))
+		var seen []int
+		for _, block := range partition {
+			seen = append(seen, block...)
+			for _, p := range block {
+				heard := make(map[int]*views.View, len(seen))
+				for _, q := range seen {
+					heard[q] = byID[q]
+				}
+				opts[pos[p]] = []pc.Option{pc.NewOption(views.Next(p, heard))}
+			}
+		}
+		out = append(out, roundop.Branch{Opts: opts, Next: o})
+	}
+	return out, nil
 }
 
 // OrderedPartitions enumerates the ordered set partitions of ids (each

@@ -1,0 +1,135 @@
+package roundop_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pseudosphere/internal/asyncmodel"
+	"pseudosphere/internal/iis"
+	"pseudosphere/internal/pc"
+	"pseudosphere/internal/roundop"
+	"pseudosphere/internal/semisync"
+	"pseudosphere/internal/syncmodel"
+	"pseudosphere/internal/testutil"
+	"pseudosphere/internal/topology"
+)
+
+// The differential pin: every model's engine-backed construction must agree
+// bit for bit — CanonicalHash and view count — with the retained pre-engine
+// serial implementation (LegacySerialRounds), and with the parallel engine
+// at several worker counts. Run under -race in CI, this is the contract
+// that the unification changed no output anywhere.
+
+func input(n int) topology.Simplex {
+	return testutil.Labeled(n, "v")
+}
+
+// check compares the legacy reference against the engine serial result and
+// the engine parallel result at worker counts 1, 2 and 8.
+func check(t *testing.T, name string, legacy *pc.Result,
+	serial func() (*pc.Result, error), par func(workers int) (*pc.Result, error)) {
+	t.Helper()
+	wantHash := legacy.Complex.CanonicalHash()
+	got, err := serial()
+	if err != nil {
+		t.Fatalf("%s: engine serial: %v", name, err)
+	}
+	if h := got.Complex.CanonicalHash(); h != wantHash {
+		t.Errorf("%s: engine hash %s != legacy %s", name, h, wantHash)
+	}
+	if len(got.Views) != len(legacy.Views) {
+		t.Errorf("%s: engine %d views != legacy %d", name, len(got.Views), len(legacy.Views))
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := par(workers)
+		if err != nil {
+			t.Fatalf("%s: engine parallel w=%d: %v", name, workers, err)
+		}
+		if h := got.Complex.CanonicalHash(); h != wantHash {
+			t.Errorf("%s: parallel w=%d hash %s != legacy %s", name, workers, h, wantHash)
+		}
+		if len(got.Views) != len(legacy.Views) {
+			t.Errorf("%s: parallel w=%d %d views != legacy %d", name, workers, len(got.Views), len(legacy.Views))
+		}
+	}
+}
+
+func TestDifferentialAsync(t *testing.T) {
+	cases := []struct{ n, f, r int }{
+		{2, 1, 1}, {2, 2, 1}, {3, 1, 1}, {3, 2, 1}, {2, 1, 2}, {2, 2, 2},
+	}
+	for _, tc := range cases {
+		p := asyncmodel.Params{N: tc.n, F: tc.f}
+		legacy, err := asyncmodel.LegacySerialRounds(input(tc.n), p, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, fmt.Sprintf("A^%d n=%d f=%d", tc.r, tc.n, tc.f), legacy,
+			func() (*pc.Result, error) { return asyncmodel.Rounds(input(tc.n), p, tc.r) },
+			func(w int) (*pc.Result, error) { return asyncmodel.RoundsParallel(input(tc.n), p, tc.r, w) })
+	}
+}
+
+func TestDifferentialSync(t *testing.T) {
+	cases := []struct{ n, k, f, r int }{
+		{2, 1, 1, 1}, {3, 1, 1, 1}, {3, 2, 2, 1}, {2, 1, 2, 2}, {3, 1, 2, 2},
+	}
+	for _, tc := range cases {
+		p := syncmodel.Params{PerRound: tc.k, Total: tc.f}
+		legacy, err := syncmodel.LegacySerialRounds(input(tc.n), p, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, fmt.Sprintf("S^%d n=%d k=%d f=%d", tc.r, tc.n, tc.k, tc.f), legacy,
+			func() (*pc.Result, error) { return syncmodel.Rounds(input(tc.n), p, tc.r) },
+			func(w int) (*pc.Result, error) { return syncmodel.RoundsParallel(input(tc.n), p, tc.r, w) })
+	}
+}
+
+func TestDifferentialSemisync(t *testing.T) {
+	cases := []struct{ n, k, f, r int }{
+		{2, 1, 1, 1}, {3, 1, 1, 1}, {2, 1, 2, 2},
+	}
+	for _, tc := range cases {
+		p := semisync.Params{C1: 1, C2: 2, D: 2, PerRound: tc.k, Total: tc.f}
+		legacy, err := semisync.LegacySerialRounds(input(tc.n), p, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, fmt.Sprintf("M^%d n=%d k=%d f=%d", tc.r, tc.n, tc.k, tc.f), legacy,
+			func() (*pc.Result, error) { return semisync.Rounds(input(tc.n), p, tc.r) },
+			func(w int) (*pc.Result, error) { return semisync.RoundsParallel(input(tc.n), p, tc.r, w) })
+	}
+}
+
+func TestDifferentialIIS(t *testing.T) {
+	cases := []struct{ n, r int }{
+		{1, 1}, {2, 1}, {3, 1}, {1, 2}, {2, 2},
+	}
+	for _, tc := range cases {
+		legacy, err := iis.LegacySerialRounds(input(tc.n), tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, fmt.Sprintf("IIS^%d n=%d", tc.r, tc.n), legacy,
+			func() (*pc.Result, error) { return iis.Rounds(input(tc.n), tc.r) },
+			func(w int) (*pc.Result, error) { return iis.RoundsParallel(input(tc.n), tc.r, w) })
+	}
+}
+
+// TestEngineOneRoundMatchesRounds1 pins OneRound == Rounds(·, 1) at the
+// engine level, through a real operator.
+func TestEngineOneRoundMatchesRounds1(t *testing.T) {
+	op := asyncmodel.Params{N: 3, F: 2}.Operator()
+	one, err := roundop.OneRound(op, input(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := roundop.Rounds(op, input(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Complex.CanonicalHash() != r1.Complex.CanonicalHash() {
+		t.Fatal("OneRound and Rounds(1) disagree")
+	}
+}

@@ -1,0 +1,181 @@
+package roundop
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pseudosphere/internal/obs"
+	"pseudosphere/internal/pc"
+	"pseudosphere/internal/topology"
+	"pseudosphere/internal/views"
+)
+
+// parallelThreshold is the smallest total one-round facet count worth
+// sharding; below it goroutine startup and shard merging outweigh the work.
+const parallelThreshold = 256
+
+// Shard chunk sizes. One-round products are split into runs of
+// oneRoundChunk consecutive indices; with r > 1 each first-round facet
+// expands into a whole (r-1)-round subtree, so deepChunk dispatches them
+// one at a time to keep the workers balanced.
+const (
+	oneRoundChunk = 128
+	deepChunk     = 1
+)
+
+// shardJob is one slice of one branch: the branch's option table, the
+// operator its continuation rounds use, and a linear index range into the
+// option product.
+type shardJob struct {
+	opts   [][]pc.Option
+	next   Operator
+	lo, hi int64
+}
+
+// OneRoundParallel is OneRound with facet generation sharded over workers.
+func OneRoundParallel(op Operator, input topology.Simplex, workers int) (*pc.Result, error) {
+	return RoundsParallel(op, input, 1, workers)
+}
+
+// OneRoundParallelCtx is OneRoundParallel with cooperative cancellation:
+// see RoundsParallelCtx.
+func OneRoundParallelCtx(ctx context.Context, op Operator, input topology.Simplex, workers int) (*pc.Result, error) {
+	return RoundsParallelCtx(ctx, op, input, 1, workers)
+}
+
+// RoundsParallel is Rounds with the first round's work split across a
+// worker pool. The dispatcher asks the operator for its branches and
+// shards every branch's facet product into index-range jobs (the option
+// tables are built serially — that cost is per option, not per facet).
+// Workers close faces into private complexes merged at the end, so the
+// resulting complex and view map are independent of worker count and
+// scheduling — the complex is a set and every accessor sorts — and
+// CanonicalHash agrees bit for bit with the serial construction.
+func RoundsParallel(op Operator, input topology.Simplex, r int, workers int) (*pc.Result, error) {
+	return RoundsParallelCtx(context.Background(), op, input, r, workers)
+}
+
+// RoundsParallelCtx is RoundsParallel threaded with a context: workers
+// observe cancellation at the next job boundary (at most one shard of work
+// after ctx fires), the call returns ctx.Err(), and an obs.Tracker carried
+// by the context (obs.FromContext) has its "facets" counter bumped shard
+// by shard. With an uncancellable context and workers <= 1 the call is
+// exactly the serial Rounds.
+func RoundsParallelCtx(ctx context.Context, op Operator, input topology.Simplex, r int, workers int) (*pc.Result, error) {
+	if r < 0 {
+		return nil, fmt.Errorf("roundop: negative round count %d", r)
+	}
+	cancellable := ctx.Done() != nil
+	if (workers <= 1 && !cancellable) || r == 0 {
+		return Rounds(op, input, r)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	cur := pc.InputViews(input)
+	branches, err := op.Branches(cur)
+	if err != nil {
+		return nil, err
+	}
+	chunk := int64(oneRoundChunk)
+	if r > 1 {
+		chunk = deepChunk
+	}
+	var jobs []shardJob
+	grand := int64(0)
+	for _, b := range branches {
+		if len(b.Opts) == 0 {
+			continue
+		}
+		total := pc.ProductSize(b.Opts)
+		grand += total
+		for lo := int64(0); lo < total; lo += chunk {
+			hi := lo + chunk
+			if hi > total {
+				hi = total
+			}
+			jobs = append(jobs, shardJob{opts: b.Opts, next: b.Next, lo: lo, hi: hi})
+		}
+	}
+	if r == 1 && grand < parallelThreshold && !cancellable {
+		return Rounds(op, input, r)
+	}
+	res := pc.NewResult()
+	if err := runJobs(ctx, res, jobs, r, workers); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runJobs drains jobs with a pool of workers, each accumulating into a
+// private result, and merges the shards into res. Workers re-check the
+// context at every job claim; on cancellation the merge is skipped and
+// ctx.Err() is returned. The first enumeration error (none are expected
+// from the in-tree operators) aborts the drain the same way.
+func runJobs(ctx context.Context, res *pc.Result, jobs []shardJob, r int, workers int) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var cancelled atomic.Bool
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
+		defer stop()
+	}
+	facetCtr := obs.FromContext(ctx).Counter("facets")
+	locals := make([]*pc.Result, workers)
+	var cursor int64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	for w := range locals {
+		local := pc.NewResult()
+		locals[w] = local
+		wg.Add(1)
+		go func(local *pc.Result) {
+			defer wg.Done()
+			for {
+				if cancelled.Load() || firstErr.Load() != nil {
+					return
+				}
+				j := atomic.AddInt64(&cursor, 1) - 1
+				if j >= int64(len(jobs)) {
+					return
+				}
+				job := jobs[j]
+				n := len(job.opts)
+				idx := make([]int, n)
+				verts := make([]topology.Vertex, n)
+				facet := make([]*views.View, n)
+				pc.DecodeIndex(idx, job.opts, job.lo)
+				for li := job.lo; li < job.hi; li++ {
+					pc.FillFacet(facet, verts, job.opts, idx)
+					if r == 1 {
+						local.AddFacetVertices(verts, facet)
+					} else if err := appendRounds(local, job.next, facet, r-1); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+					pc.Advance(idx, job.opts)
+				}
+				facetCtr.Add(uint64(job.hi - job.lo))
+			}
+		}(local)
+	}
+	wg.Wait()
+	if errp := firstErr.Load(); errp != nil {
+		return *errp
+	}
+	if cancelled.Load() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	for _, l := range locals {
+		res.Merge(l)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Package roundop is the unified round-operator engine behind the model
+// constructors. The paper's central observation is that the asynchronous,
+// synchronous, and semi-synchronous round complexes are all built the same
+// way: a round is a set of *branches* (the adversary's coarse choice — a
+// failure set K, a failure pattern F, or nothing at all), and within each
+// branch every surviving process independently picks one admissible next
+// view, so the branch's executions form the product of per-process option
+// lists (a pseudosphere, per Lemmas 11/14/19). This package owns that
+// shape once: a model is an Operator that yields branches with their
+// option tables, and the engine supplies everything downstream — serial
+// enumeration, mixed-radix facet-product iteration, the parallel shard
+// dispatcher and worker pool with private-complex merging, cooperative
+// cancellation, obs counters, and the iterated composition R^r.
+//
+// The model packages (asyncmodel, syncmodel, semisync, iis, custommodel)
+// are thin adapters: parameter validation plus option-table generation.
+// Adding a new model — a different failure structure, a dynamic network —
+// means writing only a Branches method.
+package roundop
+
+import (
+	"fmt"
+
+	"pseudosphere/internal/pc"
+	"pseudosphere/internal/topology"
+	"pseudosphere/internal/views"
+)
+
+// Branch is one coarse adversary choice for a round: the per-position
+// option tables of the surviving processes (positions in ascending process
+// id, each a nonempty list of admissible next views) and the operator
+// governing the continuation rounds (the same operator, or one with a
+// decremented failure budget). The branch's one-round executions are the
+// cartesian product of the option lists. A branch with an empty option
+// table contributes nothing (e.g. every process failed).
+type Branch struct {
+	Opts [][]pc.Option
+	Next Operator
+}
+
+// Operator is a model's one-round construction: given the participants'
+// current views, the set of branches the adversary may choose. Branches
+// must be deterministic and ordered (the Mayer–Vietoris proofs iterate the
+// union in branch order), and the option tables must be safe for
+// concurrent read — pc.NewOption pre-encodes each view, so workers never
+// mutate shared state.
+type Operator interface {
+	Branches(cur []*views.View) ([]Branch, error)
+}
+
+// OneRound returns the one-round complex R(S) of the operator over the
+// input simplex.
+func OneRound(op Operator, input topology.Simplex) (*pc.Result, error) {
+	return Rounds(op, input, 1)
+}
+
+// Rounds returns the iterated complex R^r(S): the union over the facets T
+// of one round of R^{r-1}(T), per the inductive definition shared by
+// Sections 6–8. Intermediate rounds only thread views forward; only the
+// final round's global states become simplexes of the r-round complex.
+func Rounds(op Operator, input topology.Simplex, r int) (*pc.Result, error) {
+	if r < 0 {
+		return nil, fmt.Errorf("roundop: negative round count %d", r)
+	}
+	res := pc.NewResult()
+	if err := appendRounds(res, op, pc.InputViews(input), r); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// appendRounds adds the r-round complex reachable from cur to res.
+func appendRounds(res *pc.Result, op Operator, cur []*views.View, r int) error {
+	if r == 0 {
+		res.AddFacet(cur)
+		return nil
+	}
+	branches, err := op.Branches(cur)
+	if err != nil {
+		return err
+	}
+	for _, b := range branches {
+		if len(b.Opts) == 0 {
+			continue
+		}
+		scratch := res
+		if r > 1 {
+			scratch = pc.NewResult()
+		}
+		for _, facet := range appendBranch(scratch, b.Opts, r > 1) {
+			if err := appendRounds(res, b.Next, facet, r-1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// appendBranch enumerates one branch's facet product into res with the
+// mixed-radix odometer, returning the facets as view lists when collect is
+// set (the iterated construction recurses into them; the final round does
+// not need them, so it reuses one buffer).
+func appendBranch(res *pc.Result, opts [][]pc.Option, collect bool) [][]*views.View {
+	if pc.ProductSize(opts) == 0 {
+		return nil
+	}
+	idx := make([]int, len(opts))
+	verts := make([]topology.Vertex, len(opts))
+	var facets [][]*views.View
+	buf := make([]*views.View, len(opts))
+	for {
+		facet := buf
+		if collect {
+			facet = make([]*views.View, len(opts))
+		}
+		pc.FillFacet(facet, verts, opts, idx)
+		res.AddFacetVertices(verts, facet)
+		if collect {
+			facets = append(facets, facet)
+		}
+		if !pc.Advance(idx, opts) {
+			break
+		}
+	}
+	return facets
+}
+
+// BranchResults enumerates each branch of one round over the input simplex
+// into its own result, in operator order. These are the pseudosphere
+// pieces whose union is OneRound(op, input); the Mayer–Vietoris proof
+// tests iterate Theorem 2 along exactly this order.
+func BranchResults(op Operator, input topology.Simplex) ([]*pc.Result, error) {
+	branches, err := op.Branches(pc.InputViews(input))
+	if err != nil {
+		return nil, err
+	}
+	var out []*pc.Result
+	for _, b := range branches {
+		if len(b.Opts) == 0 {
+			continue
+		}
+		res := pc.NewResult()
+		appendBranch(res, b.Opts, false)
+		out = append(out, res)
+	}
+	return out, nil
+}

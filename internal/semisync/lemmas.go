@@ -137,7 +137,7 @@ type IndexedPattern struct {
 // then lexicographically, and for each set the patterns in reverse
 // lexicographic order (all-at-p first, all-at-1 last).
 func OrderedPseudospheres(ids []int, p Params) []IndexedPattern {
-	maxFail := minInt(p.PerRound, p.Total)
+	maxFail := min(p.PerRound, p.Total)
 	var out []IndexedPattern
 	for _, fail := range FailureSets(ids, maxFail) {
 		for _, f := range Patterns(fail, p.Micro()) {

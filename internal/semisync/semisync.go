@@ -24,6 +24,7 @@ import (
 	"strconv"
 
 	"pseudosphere/internal/pc"
+	"pseudosphere/internal/roundop"
 	"pseudosphere/internal/topology"
 	"pseudosphere/internal/views"
 )
@@ -249,16 +250,7 @@ func OneRound(input topology.Simplex, p Params) (*pc.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	res := pc.NewResult()
-	maxFail := minInt(p.PerRound, p.Total)
-	for _, fail := range FailureSets(input.IDs(), maxFail) {
-		for _, f := range Patterns(fail, p.Micro()) {
-			if _, err := appendOneRoundPattern(res, pc.InputViews(input), fail, f, p, -1); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return res, nil
+	return roundop.OneRound(p.Operator(), input)
 }
 
 // Rounds returns M^r(S): r semi-synchronous rounds with at most PerRound
@@ -271,46 +263,7 @@ func Rounds(input topology.Simplex, p Params, r int) (*pc.Result, error) {
 	if r < 0 {
 		return nil, fmt.Errorf("semisync: negative round count %d", r)
 	}
-	res := pc.NewResult()
-	if err := roundsRec(res, pc.InputViews(input), p, r); err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-func roundsRec(res *pc.Result, cur []*views.View, p Params, r int) error {
-	if r == 0 {
-		res.AddFacet(cur)
-		return nil
-	}
-	ids := make([]int, len(cur))
-	for i, v := range cur {
-		ids[i] = v.P
-	}
-	maxFail := minInt(p.PerRound, p.Total)
-	for _, fail := range FailureSets(ids, maxFail) {
-		for _, f := range Patterns(fail, p.Micro()) {
-			scratch := pc.NewResult()
-			if r == 1 {
-				scratch = res
-			}
-			facets, err := appendOneRoundPattern(scratch, cur, fail, f, p, -1)
-			if err != nil {
-				// Not expected — fail is drawn from the participant ids — but
-				// propagated rather than panicking so callers (and the cmd
-				// tools above them) fail with a message, not a stack trace.
-				return err
-			}
-			next := p
-			next.Total = p.Total - len(fail)
-			for _, facet := range facets {
-				if err := roundsRec(res, facet, next, r-1); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return nil
+	return roundop.Rounds(p.Operator(), input, r)
 }
 
 // FailureSets enumerates the subsets of ids of size at most maxSize,
@@ -360,13 +313,6 @@ func cartesianInts(opts [][]int) [][]int {
 		out = next
 	}
 	return out
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func gcd(a, b int) int {

@@ -1,0 +1,40 @@
+package syncmodel
+
+import (
+	"pseudosphere/internal/roundop"
+	"pseudosphere/internal/views"
+)
+
+// Operator returns the synchronous model as a round operator for the
+// shared engine. One synchronous round has a branch per failure set K of
+// size at most min(PerRound, Total), in the paper's order (by cardinality,
+// then lexicographically); within a branch each survivor independently
+// hears all survivors plus an arbitrary subset of K (Lemma 14). The
+// branch's continuation rounds run with the failure budget reduced by |K|.
+func (p Params) Operator() roundop.Operator {
+	return syncOperator{p: p}
+}
+
+type syncOperator struct {
+	p Params
+}
+
+func (o syncOperator) Branches(cur []*views.View) ([]roundop.Branch, error) {
+	ids := make([]int, len(cur))
+	for i, v := range cur {
+		ids[i] = v.P
+	}
+	var out []roundop.Branch
+	for _, fail := range FailureSets(ids, min(o.p.PerRound, o.p.Total)) {
+		opts, err := oneRoundExactlyOptions(cur, fail, -1)
+		if err != nil {
+			return nil, err
+		}
+		if opts == nil {
+			continue
+		}
+		next := Params{PerRound: o.p.PerRound, Total: o.p.Total - len(fail)}
+		out = append(out, roundop.Branch{Opts: opts, Next: syncOperator{p: next}})
+	}
+	return out, nil
+}

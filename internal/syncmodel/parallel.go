@@ -3,27 +3,11 @@ package syncmodel
 import (
 	"context"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
-	"pseudosphere/internal/obs"
 	"pseudosphere/internal/pc"
+	"pseudosphere/internal/roundop"
 	"pseudosphere/internal/topology"
-	"pseudosphere/internal/views"
 )
-
-// parallelThreshold is the smallest total one-round facet count worth
-// sharding; below it goroutine startup and shard merging outweigh the work.
-const parallelThreshold = 256
-
-// shardJob is one slice of one failure-set branch: the survivors' option
-// table, the parameters the branch continues with, and a linear index
-// range into the option product.
-type shardJob struct {
-	opts   [][]pc.Option
-	next   Params
-	lo, hi int64
-}
 
 // OneRoundParallel is OneRound with facet generation sharded over workers.
 func OneRoundParallel(input topology.Simplex, p Params, workers int) (*pc.Result, error) {
@@ -36,22 +20,18 @@ func OneRoundParallelCtx(ctx context.Context, input topology.Simplex, p Params, 
 	return RoundsParallelCtx(ctx, input, p, 1, workers)
 }
 
-// RoundsParallel is Rounds with the first round's work split across a
-// worker pool. The dispatcher enumerates failure sets and builds each
-// branch's option table serially (that cost is per option, not per facet),
-// then shards every branch's facet product into index-range jobs. Workers
-// close faces into private complexes merged at the end, so the result is
-// independent of worker count and scheduling.
+// RoundsParallel is Rounds built by the shared roundop engine's worker
+// pool; the result is independent of worker count and scheduling and its
+// CanonicalHash agrees bit for bit with the serial construction.
 func RoundsParallel(input topology.Simplex, p Params, r int, workers int) (*pc.Result, error) {
 	return RoundsParallelCtx(context.Background(), input, p, r, workers)
 }
 
 // RoundsParallelCtx is RoundsParallel threaded with a context: workers
-// observe cancellation at the next job boundary (at most one shard of work
-// after ctx fires), the call returns ctx.Err(), and an obs.Tracker carried
-// by the context has its "facets" counter bumped shard by shard. With an
-// uncancellable context and workers <= 1 the call is exactly the serial
-// Rounds.
+// observe cancellation at the next shard boundary, the call returns
+// ctx.Err(), and an obs.Tracker carried by the context has its "facets"
+// counter bumped shard by shard. With an uncancellable context and
+// workers <= 1 the call is exactly the serial Rounds.
 func RoundsParallelCtx(ctx context.Context, input topology.Simplex, p Params, r int, workers int) (*pc.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -59,120 +39,5 @@ func RoundsParallelCtx(ctx context.Context, input topology.Simplex, p Params, r 
 	if r < 0 {
 		return nil, fmt.Errorf("syncmodel: negative round count %d", r)
 	}
-	cancellable := ctx.Done() != nil
-	if (workers <= 1 && !cancellable) || r == 0 {
-		return Rounds(input, p, r)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	cur := pc.InputViews(input)
-	maxFail := minInt(p.PerRound, p.Total)
-	chunk := int64(128)
-	if r > 1 {
-		// Each first-round facet expands into an (r-1)-round subtree;
-		// fine-grained dispatch keeps the workers balanced.
-		chunk = 1
-	}
-	var jobs []shardJob
-	grand := int64(0)
-	for _, fail := range FailureSets(input.IDs(), maxFail) {
-		// Also pre-encodes every option view: workers only read shared views.
-		opts, err := oneRoundExactlyOptions(cur, fail, -1)
-		if err != nil {
-			return nil, err
-		}
-		if opts == nil {
-			continue
-		}
-		next := Params{PerRound: p.PerRound, Total: p.Total - len(fail)}
-		total := pc.ProductSize(opts)
-		grand += total
-		for lo := int64(0); lo < total; lo += chunk {
-			hi := lo + chunk
-			if hi > total {
-				hi = total
-			}
-			jobs = append(jobs, shardJob{opts: opts, next: next, lo: lo, hi: hi})
-		}
-	}
-	if r == 1 && grand < parallelThreshold && !cancellable {
-		return Rounds(input, p, r)
-	}
-	res := pc.NewResult()
-	if err := runJobs(ctx, res, jobs, r, workers); err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-// runJobs drains jobs with a pool of workers, each accumulating into a
-// private result, and merges the shards into res. Workers re-check the
-// context at every job claim; on cancellation the merge is skipped and
-// ctx.Err() is returned. The first enumeration error (none are expected)
-// aborts the drain the same way.
-func runJobs(ctx context.Context, res *pc.Result, jobs []shardJob, r int, workers int) error {
-	if len(jobs) == 0 {
-		return nil
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var cancelled atomic.Bool
-	if ctx.Done() != nil {
-		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
-		defer stop()
-	}
-	facetCtr := obs.FromContext(ctx).Counter("facets")
-	locals := make([]*pc.Result, workers)
-	var cursor int64
-	var firstErr atomic.Pointer[error]
-	var wg sync.WaitGroup
-	for w := range locals {
-		local := pc.NewResult()
-		locals[w] = local
-		wg.Add(1)
-		go func(local *pc.Result) {
-			defer wg.Done()
-			for {
-				if cancelled.Load() || firstErr.Load() != nil {
-					return
-				}
-				j := atomic.AddInt64(&cursor, 1) - 1
-				if j >= int64(len(jobs)) {
-					return
-				}
-				job := jobs[j]
-				n := len(job.opts)
-				idx := make([]int, n)
-				verts := make([]topology.Vertex, n)
-				facet := make([]*views.View, n)
-				pc.DecodeIndex(idx, job.opts, job.lo)
-				for li := job.lo; li < job.hi; li++ {
-					pc.FillFacet(facet, verts, job.opts, idx)
-					if r == 1 {
-						local.AddFacetVertices(verts, facet)
-					} else if err := roundsRec(local, facet, job.next, r-1); err != nil {
-						firstErr.CompareAndSwap(nil, &err)
-						return
-					}
-					pc.Advance(idx, job.opts)
-				}
-				facetCtr.Add(uint64(job.hi - job.lo))
-			}
-		}(local)
-	}
-	wg.Wait()
-	if errp := firstErr.Load(); errp != nil {
-		return *errp
-	}
-	if cancelled.Load() {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-	}
-	for _, l := range locals {
-		res.Merge(l)
-	}
-	return nil
+	return roundop.RoundsParallelCtx(ctx, p.Operator(), input, r, workers)
 }

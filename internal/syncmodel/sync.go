@@ -18,6 +18,7 @@ import (
 
 	"pseudosphere/internal/core"
 	"pseudosphere/internal/pc"
+	"pseudosphere/internal/roundop"
 	"pseudosphere/internal/topology"
 	"pseudosphere/internal/views"
 )
@@ -185,14 +186,7 @@ func OneRound(input topology.Simplex, p Params) (*pc.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	res := pc.NewResult()
-	maxFail := minInt(p.PerRound, p.Total)
-	for _, fail := range FailureSets(input.IDs(), maxFail) {
-		if _, err := appendOneRoundExactly(res, pc.InputViews(input), fail, -1); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return roundop.OneRound(p.Operator(), input)
 }
 
 // Rounds returns S^r(S): r synchronous rounds with at most PerRound
@@ -206,43 +200,7 @@ func Rounds(input topology.Simplex, p Params, r int) (*pc.Result, error) {
 	if r < 0 {
 		return nil, fmt.Errorf("syncmodel: negative round count %d", r)
 	}
-	res := pc.NewResult()
-	if err := roundsRec(res, pc.InputViews(input), p, r); err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-func roundsRec(res *pc.Result, cur []*views.View, p Params, r int) error {
-	if r == 0 {
-		res.AddFacet(cur)
-		return nil
-	}
-	ids := make([]int, len(cur))
-	for i, v := range cur {
-		ids[i] = v.P
-	}
-	maxFail := minInt(p.PerRound, p.Total)
-	for _, fail := range FailureSets(ids, maxFail) {
-		scratch := pc.NewResult()
-		if r == 1 {
-			scratch = res
-		}
-		facets, err := appendOneRoundExactly(scratch, cur, fail, -1)
-		if err != nil {
-			// Not expected — fail is drawn from the participant ids — but
-			// propagated rather than panicking so callers (and the cmd
-			// tools above them) fail with a message, not a stack trace.
-			return err
-		}
-		next := Params{PerRound: p.PerRound, Total: p.Total - len(fail)}
-		for _, facet := range facets {
-			if err := roundsRec(res, facet, next, r-1); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return roundop.Rounds(p.Operator(), input, r)
 }
 
 // Lemma14Pseudosphere builds the abstract pseudosphere psi(S\K; 2^K) of
@@ -321,11 +279,4 @@ func intSubsets(xs []int) [][]int {
 		out = append(out, sub)
 	}
 	return out
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

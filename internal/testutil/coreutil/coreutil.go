@@ -1,0 +1,31 @@
+// Package coreutil holds the panic-on-error pseudosphere constructors
+// shared by test suites above core in the import graph. It is separate
+// from testutil so that packages below core (homology, topology) can use
+// testutil without an import cycle; core's own internal tests keep local
+// copies for the same reason.
+package coreutil
+
+import (
+	"pseudosphere/internal/core"
+	"pseudosphere/internal/topology"
+)
+
+// MustUniform is core.Uniform for statically-correct test inputs; it
+// panics on error.
+func MustUniform(base topology.Simplex, set []string) *topology.Complex {
+	c, err := core.Uniform(base, set)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustPseudosphere is core.Pseudosphere for statically-correct test
+// inputs; it panics on error.
+func MustPseudosphere(base topology.Simplex, sets [][]string) *topology.Complex {
+	c, err := core.Pseudosphere(base, sets)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,32 @@
+// Package testutil holds the panic-on-error constructors shared by the
+// package test suites, hoisted from a dozen per-package musthelpers
+// copies. It depends only on topology so that every internal test package
+// except topology's own can bind to it (topology's internal tests would
+// form an import cycle and keep a local copy; helpers needing core live in
+// the coreutil subpackage for the same reason).
+package testutil
+
+import (
+	"pseudosphere/internal/topology"
+)
+
+// MustSimplex is topology.NewSimplex for statically-correct test inputs;
+// it panics on error so call sites stay one-line literals.
+func MustSimplex(vs ...topology.Vertex) topology.Simplex {
+	s, err := topology.NewSimplex(vs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Labeled builds the (n+1)-process input simplex with labels prefix+i.
+// The vertices are generated in ascending process order, which is the
+// Simplex invariant, so no validating constructor is needed.
+func Labeled(n int, prefix string) topology.Simplex {
+	vs := make(topology.Simplex, n+1)
+	for i := range vs {
+		vs[i] = topology.Vertex{P: i, Label: prefix + string(rune('0'+i))}
+	}
+	return vs
+}

@@ -1,15 +1,6 @@
 package topology_test
 
-import (
-	"pseudosphere/internal/topology"
-)
+import "pseudosphere/internal/testutil"
 
-// mustSimplex is topology.NewSimplex for statically-correct test
-// inputs; it panics on error so call sites stay one-line literals.
-func mustSimplex(vs ...topology.Vertex) topology.Simplex {
-	s, err := topology.NewSimplex(vs...)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
+// mustSimplex binds the shared test constructor; see internal/testutil.
+var mustSimplex = testutil.MustSimplex

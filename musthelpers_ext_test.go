@@ -1,26 +1,12 @@
 package pseudosphere_test
 
 import (
-	"pseudosphere/internal/core"
-	"pseudosphere/internal/topology"
+	"pseudosphere/internal/testutil"
+	"pseudosphere/internal/testutil/coreutil"
 )
 
-// mustSimplex is topology.NewSimplex for statically-correct test
-// inputs; it panics on error so call sites stay one-line literals.
-func mustSimplex(vs ...topology.Vertex) topology.Simplex {
-	s, err := topology.NewSimplex(vs...)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
-// mustUniform is core.Uniform for statically-correct test inputs; it
-// panics on error.
-func mustUniform(base topology.Simplex, set []string) *topology.Complex {
-	c, err := core.Uniform(base, set)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
+// The shared test constructors; see internal/testutil.
+var (
+	mustSimplex = testutil.MustSimplex
+	mustUniform = coreutil.MustUniform
+)
