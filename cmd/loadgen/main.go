@@ -1,0 +1,234 @@
+// Command loadgen drives a running serve instance with a concurrent,
+// Zipf-distributed query workload and reports a latency histogram and
+// cache hit rates as JSON. It is how EXPERIMENTS.md measures the value of
+// the persistent result store: run it against a cold store, then again
+// against the warm one, and compare p50/p99.
+//
+// Usage:
+//
+//	loadgen -target http://localhost:8080 -requests 400 -concurrency 8
+//
+// The parameter universe is a fixed, rank-ordered list of small
+// /v1/connectivity, /v1/rounds, /v1/pseudosphere, and /v1/decision
+// queries; each request draws its query by Zipf rank (s=-zipf-s), so a
+// few queries are hot and the tail is cold — the shape a result cache is
+// for. The -seed flag makes runs reproducible.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// universe returns the rank-ordered query list. Order matters: rank 0 is
+// the hottest query under the Zipf draw.
+func universe() []string {
+	var qs []string
+	// Connectivity over the model sweep: the expensive, cache-worthy core.
+	for _, model := range []string{"async", "sync", "iis"} {
+		for n := 2; n <= 3; n++ {
+			for r := 1; r <= 2; r++ {
+				switch model {
+				case "async":
+					qs = append(qs, fmt.Sprintf("/v1/connectivity?model=async&n=%d&f=1&r=%d", n, r))
+				case "sync":
+					qs = append(qs, fmt.Sprintf("/v1/connectivity?model=sync&n=%d&k=1&r=%d", n, r))
+				case "iis":
+					qs = append(qs, fmt.Sprintf("/v1/connectivity?model=iis&n=%d&r=%d", n, r))
+				}
+			}
+		}
+	}
+	qs = append(qs,
+		"/v1/connectivity?model=semisync&n=2&k=1&c1=1&c2=2&d=2&r=1",
+		"/v1/rounds?model=async&n=3&f=2&r=1",
+		"/v1/rounds?model=custom&n=2&k=1&r=2",
+		"/v1/pseudosphere?n=2&values=0,1",
+		"/v1/pseudosphere?n=3&values=0,1",
+		"/v1/decision?model=async&n=2&f=1&r=1&agree=2",
+		"/v1/decision?model=sync&n=2&k=1&r=1&agree=1",
+	)
+	return qs
+}
+
+type sample struct {
+	latency time.Duration
+	status  int
+	cache   string // X-Cache: hit, miss, flight, or "" on error
+}
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	target := flag.String("target", "http://localhost:8080", "serve base URL")
+	requests := flag.Int("requests", 200, "total requests to issue")
+	concurrency := flag.Int("concurrency", 8, "concurrent clients")
+	zipfS := flag.Float64("zipf-s", 1.2, "Zipf exponent over the query universe (>1)")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	flag.Parse()
+
+	qs := universe()
+	rng := rand.New(rand.NewSource(*seed))
+	zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(qs)-1))
+	if zipf == nil {
+		fmt.Fprintln(os.Stderr, "loadgen: invalid zipf parameters")
+		return 2
+	}
+
+	// Draw the whole workload upfront (the RNG is not goroutine-safe) and
+	// let workers pull from a shared channel.
+	work := make(chan string, *requests)
+	for i := 0; i < *requests; i++ {
+		work <- qs[zipf.Uint64()]
+	}
+	close(work)
+
+	client := &http.Client{Timeout: 120 * time.Second}
+	samples := make([]sample, 0, *requests)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range work {
+				t0 := time.Now()
+				s := sample{}
+				resp, err := client.Get(*target + q)
+				s.latency = time.Since(t0)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+					s.status = resp.StatusCode
+					s.cache = resp.Header.Get("X-Cache")
+				}
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	report := buildReport(*target, *concurrency, samples, wall)
+	report.ServerMetrics = fetchMetrics(client, *target)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(report) //nolint:errcheck
+	if report.Statuses["200"] != *requests {
+		return 1
+	}
+	return 0
+}
+
+type latencyStats struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+type reportDoc struct {
+	Target        string                  `json:"target"`
+	Requests      int                     `json:"requests"`
+	Concurrency   int                     `json:"concurrency"`
+	WallSeconds   float64                 `json:"wall_seconds"`
+	Throughput    float64                 `json:"requests_per_second"`
+	Statuses      map[string]int          `json:"statuses"`
+	Cache         map[string]int          `json:"cache"`
+	HitRate       float64                 `json:"hit_rate"`
+	Latency       latencyStats            `json:"latency"`
+	ByCache       map[string]latencyStats `json:"latency_by_cache"`
+	ServerMetrics json.RawMessage         `json:"server_metrics,omitempty"`
+}
+
+func buildReport(target string, concurrency int, samples []sample, wall time.Duration) *reportDoc {
+	r := &reportDoc{
+		Target:      target,
+		Requests:    len(samples),
+		Concurrency: concurrency,
+		WallSeconds: wall.Seconds(),
+		Statuses:    map[string]int{},
+		Cache:       map[string]int{},
+		ByCache:     map[string]latencyStats{},
+	}
+	if wall > 0 {
+		r.Throughput = float64(len(samples)) / wall.Seconds()
+	}
+	all := make([]time.Duration, 0, len(samples))
+	byCache := map[string][]time.Duration{}
+	for _, s := range samples {
+		if s.status == 0 {
+			r.Statuses["error"]++
+			continue
+		}
+		r.Statuses[fmt.Sprint(s.status)]++
+		all = append(all, s.latency)
+		if s.cache != "" {
+			r.Cache[s.cache]++
+			byCache[s.cache] = append(byCache[s.cache], s.latency)
+		}
+	}
+	if n := r.Cache["hit"] + r.Cache["miss"] + r.Cache["flight"]; n > 0 {
+		r.HitRate = float64(r.Cache["hit"]) / float64(n)
+	}
+	r.Latency = stats(all)
+	for cache, ls := range byCache {
+		r.ByCache[cache] = stats(ls)
+	}
+	return r
+}
+
+func stats(ls []time.Duration) latencyStats {
+	if len(ls) == 0 {
+		return latencyStats{}
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(ls)-1))
+		return ls[i]
+	}
+	var sum time.Duration
+	for _, d := range ls {
+		sum += d
+	}
+	return latencyStats{
+		Count:  len(ls),
+		MeanMs: ms(sum / time.Duration(len(ls))),
+		P50Ms:  ms(pct(0.50)),
+		P90Ms:  ms(pct(0.90)),
+		P99Ms:  ms(pct(0.99)),
+		MaxMs:  ms(ls[len(ls)-1]),
+	}
+}
+
+// fetchMetrics embeds the server's /metrics document in the report, so a
+// single loadgen run records server-side hit counters alongside
+// client-side latency.
+func fetchMetrics(client *http.Client, target string) json.RawMessage {
+	resp, err := client.Get(target + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || !json.Valid(raw) {
+		return nil
+	}
+	return raw
+}

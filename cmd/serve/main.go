@@ -1,0 +1,127 @@
+// Command serve runs the long-running query service: the toolkit's
+// engines — pseudosphere construction, the unified round operator,
+// Betti/connectivity verdicts, decision-map solvability — exposed as
+// HTTP/JSON endpoints over a persistent content-addressed result store.
+//
+// Usage:
+//
+//	serve -addr :8080 -store /var/cache/pseudosphere
+//
+// Endpoints:
+//
+//	GET /v1/pseudosphere?n=2&values=0,1
+//	GET /v1/rounds?model=async&n=2&f=1&r=1
+//	GET /v1/connectivity?model=sync&n=3&k=1&r=2&field=z2
+//	GET /v1/decision?model=async&n=2&f=1&r=1&agree=2&values=0,1
+//	GET /healthz, /metrics, /debug/vars
+//
+// Results are cached at two levels (whole responses by canonical request
+// key, Betti vectors by complex canonical hash), both persisted in the
+// -store directory, so repeated and cross-restart queries are a disk read
+// instead of an enumeration. Misses run under a bounded admission pool
+// (-pool/-queue, 429 + Retry-After when saturated) with per-request
+// deadlines (-timeout) and upfront work budgets (-max-facets) — see the
+// README's Serving section.
+//
+// SIGINT/SIGTERM starts a graceful shutdown: the listener stops accepting,
+// in-flight enumerations drain (up to -drain-timeout, then they are
+// cancelled), the result store flushes, and the process exits 0 on a
+// clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pseudosphere/internal/obs"
+	"pseudosphere/internal/serve"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store", "", "result store directory (empty: in-memory caching only)")
+	workers := flag.Int("workers", 0, "construction/reduction goroutines per request (0 = NumCPU)")
+	pool := flag.Int("pool", 0, "max concurrent computes (0 = NumCPU)")
+	queue := flag.Int("queue", 0, "max queued computes beyond the pool (0 = 4x pool, -1 = none)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request compute deadline")
+	maxFacets := flag.Int64("max-facets", 0, "admission budget on estimated facet insertions (0 = 8M)")
+	nodeLimit := flag.Int64("node-limit", 0, "decision search node budget (0 = 20M)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
+	tracker := obs.NewTracker()
+	tracker.PublishExpvar("serve.counters", "serve.stages")
+	srv, err := serve.New(serve.Config{
+		StoreDir:       *storeDir,
+		Workers:        *workers,
+		Pool:           *pool,
+		Queue:          *queue,
+		RequestTimeout: *timeout,
+		MaxFacets:      *maxFacets,
+		NodeLimit:      *nodeLimit,
+		Tracker:        tracker,
+		Log:            logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	logger.Printf("listening on %s (store=%q)", *addr, *storeDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+
+	logger.Printf("signal received; draining in-flight requests (up to %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	clean := true
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		// Drain deadline exceeded: cancel the in-flight enumerations (they
+		// unwind at the next shard boundary) and close the listener hard.
+		logger.Printf("drain deadline exceeded (%v); cancelling in-flight computes", err)
+		srv.Abort()
+		httpSrv.Close()
+		clean = false
+	}
+	if err := srv.Close(); err != nil {
+		logger.Printf("close: %v", err)
+		clean = false
+	}
+	if !clean {
+		return 1
+	}
+	logger.Printf("drained cleanly")
+	return 0
+}

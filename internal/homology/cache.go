@@ -21,9 +21,25 @@ type Cache struct {
 	mu       sync.RWMutex
 	betti    map[string][]int
 	inflight map[string]*flight
+	backing  Backing
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 	waits    atomic.Uint64
+	backHits atomic.Uint64
+}
+
+// Backing is an optional second cache level consulted on an in-memory
+// miss and populated after a successful compute — typically a disk store,
+// making results survive process restarts. Get reports whether the key
+// was present; Put is best-effort (a backing that fails to persist simply
+// loses the cross-restart benefit). Both must be safe for concurrent use.
+// The singleflight layer guarantees Get and Put are called at most once
+// per in-memory miss, never once per waiter. Get must return a slice the
+// cache may hand to the caller (a fresh decode, not shared storage); Put
+// receives a private copy it may retain.
+type Backing interface {
+	Get(key string) ([]int, bool)
+	Put(key string, betti []int)
 }
 
 // flight is one in-progress computation; betti and err are written before
@@ -76,10 +92,19 @@ func (c *Cache) do(ctx context.Context, key string, compute func() ([]int, error
 	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
+	backing := c.backing
 	c.mu.Unlock()
-	c.misses.Add(1)
 
-	betti, err := compute()
+	betti, err, fromBacking := []int(nil), error(nil), false
+	if backing != nil {
+		betti, fromBacking = backing.Get(key)
+	}
+	if fromBacking {
+		c.backHits.Add(1)
+	} else {
+		c.misses.Add(1)
+		betti, err = compute()
+	}
 	// f.betti is shared with waiters while the compute's return value is
 	// handed to this caller, which may mutate it (ReducedBettiZ2 decrements
 	// b0 in place) — so the flight and the cache keep a private copy.
@@ -95,7 +120,25 @@ func (c *Cache) do(ctx context.Context, key string, compute func() ([]int, error
 	c.mu.Unlock()
 	f.betti, f.err = cp, err
 	close(f.done)
+	if err == nil && backing != nil && !fromBacking {
+		backing.Put(key, cp)
+	}
 	return betti, err
+}
+
+// SetBacking installs (or clears, with nil) the second cache level. Set
+// it before sharing the cache; installing a backing does not retroactively
+// consult it for keys already cached in memory.
+func (c *Cache) SetBacking(b Backing) {
+	c.mu.Lock()
+	c.backing = b
+	c.mu.Unlock()
+}
+
+// BackingHits returns how many in-memory misses were satisfied by the
+// backing level instead of a fresh compute.
+func (c *Cache) BackingHits() uint64 {
+	return c.backHits.Load()
 }
 
 // Len returns the number of distinct complexes cached.

@@ -118,3 +118,101 @@ func TestCacheWaiterCancellation(t *testing.T) {
 	}
 	close(release)
 }
+
+// mapBacking is an in-memory Backing standing in for the disk store.
+type mapBacking struct {
+	mu   sync.Mutex
+	m    map[string][]int
+	gets int
+	puts int
+}
+
+func newMapBacking() *mapBacking { return &mapBacking{m: make(map[string][]int)} }
+
+func (b *mapBacking) Get(key string) ([]int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gets++
+	betti, ok := b.m[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]int, len(betti))
+	copy(out, betti)
+	return out, true
+}
+
+func (b *mapBacking) Put(key string, betti []int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.puts++
+	b.m[key] = betti
+}
+
+// TestCacheBacking pins the two-level contract: a compute populates the
+// backing, and a fresh cache (a process restart) over the same backing
+// satisfies the key without recomputing.
+func TestCacheBacking(t *testing.T) {
+	back := newMapBacking()
+	c := NewCache()
+	c.SetBacking(back)
+	computes := 0
+	compute := func() ([]int, error) { computes++; return []int{1, 2, 0}, nil }
+
+	got, err := c.do(context.Background(), "k", compute)
+	if err != nil || computes != 1 {
+		t.Fatalf("first do: err=%v computes=%d", err, computes)
+	}
+	if back.puts != 1 {
+		t.Fatalf("backing puts = %d, want 1", back.puts)
+	}
+	// In-memory hit: backing untouched.
+	if _, err := c.do(context.Background(), "k", compute); err != nil || computes != 1 {
+		t.Fatalf("second do recomputed (computes=%d, err=%v)", computes, err)
+	}
+	if back.gets != 1 {
+		t.Fatalf("in-memory hit consulted the backing (gets=%d)", back.gets)
+	}
+
+	// Restart: new cache, same backing — no compute, counters attribute
+	// the result to the backing level.
+	c2 := NewCache()
+	c2.SetBacking(back)
+	got2, err := c2.do(context.Background(), "k", func() ([]int, error) {
+		t.Fatal("compute ran despite backing hit")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != len(got) || got2[0] != got[0] || got2[1] != got[1] {
+		t.Fatalf("backing returned %v, want %v", got2, got)
+	}
+	if c2.BackingHits() != 1 {
+		t.Fatalf("BackingHits = %d, want 1", c2.BackingHits())
+	}
+	if _, misses, _ := c2.Stats(); misses != 0 {
+		t.Fatalf("backing hit counted as a miss (misses=%d)", misses)
+	}
+	// The backing-provided slice is caller-owned: mutating it must not
+	// poison the cached copy.
+	got2[0] = 99
+	again, _ := c2.do(context.Background(), "k", compute)
+	if again[0] == 99 {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+}
+
+// TestCacheBackingComputeError: a failed compute stores nothing anywhere.
+func TestCacheBackingComputeError(t *testing.T) {
+	back := newMapBacking()
+	c := NewCache()
+	c.SetBacking(back)
+	wantErr := errors.New("boom")
+	if _, err := c.do(context.Background(), "k", func() ([]int, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if back.puts != 0 || len(back.m) != 0 {
+		t.Fatalf("failed compute wrote to the backing (puts=%d)", back.puts)
+	}
+}

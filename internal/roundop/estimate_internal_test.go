@@ -1,0 +1,22 @@
+package roundop
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSaturatingArithmetic(t *testing.T) {
+	const big = int64(1) << 62
+	if v := satMul(big, 4); v != math.MaxInt64 {
+		t.Fatalf("satMul overflowed to %d", v)
+	}
+	if v := satAdd(big, big); v != math.MaxInt64 {
+		t.Fatalf("satAdd overflowed to %d", v)
+	}
+	if v := satMul(0, big); v != 0 {
+		t.Fatalf("satMul(0, x) = %d", v)
+	}
+	if v := satMul(3, 5); v != 15 {
+		t.Fatalf("satMul(3, 5) = %d", v)
+	}
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated is returned by acquire when the pool and its queue are both
+// full; the handler maps it to 429 with a Retry-After header.
+var errSaturated = errors.New("serve: compute pool saturated")
+
+// admission is the bounded worker pool gating every compute. At most
+// `slots` computes run concurrently; at most `queue` more may wait for a
+// slot. Anything beyond that is rejected immediately — under overload the
+// service sheds load with 429s instead of queueing unboundedly and timing
+// everything out (cache hits are served before admission, so a saturated
+// pool still answers warm traffic).
+type admission struct {
+	slots   chan struct{}
+	queue   int64
+	waiting atomic.Int64
+}
+
+func newAdmission(slots, queue int) *admission {
+	return &admission{slots: make(chan struct{}, slots), queue: int64(queue)}
+}
+
+// acquire claims a compute slot, waiting in the bounded queue if the pool
+// is busy. It returns errSaturated when the queue is full, or ctx.Err()
+// if the caller's deadline fires while queued. On success the caller must
+// release().
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.queue {
+		a.waiting.Add(-1)
+		return errSaturated
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// load reports the running and queued compute counts.
+func (a *admission) load() (running, queued int64) {
+	return int64(len(a.slots)), a.waiting.Load()
+}

@@ -1,0 +1,373 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"pseudosphere/internal/core"
+	"pseudosphere/internal/homology"
+	"pseudosphere/internal/pc"
+	"pseudosphere/internal/roundop"
+	"pseudosphere/internal/task"
+	"pseudosphere/internal/topology"
+)
+
+// complexStats is the JSON shape every endpoint reports a complex in.
+type complexStats struct {
+	Dim           int    `json:"dim"`
+	FVector       []int  `json:"f_vector"`
+	Facets        int    `json:"facets"`
+	Simplices     int    `json:"simplices"`
+	Euler         int    `json:"euler_characteristic"`
+	CanonicalHash string `json:"canonical_hash"`
+}
+
+func statsOf(c *topology.Complex) complexStats {
+	return complexStats{
+		Dim:           c.Dim(),
+		FVector:       c.FVector(),
+		Facets:        len(c.Facets()),
+		Simplices:     c.Size(),
+		Euler:         c.EulerCharacteristic(),
+		CanonicalHash: c.CanonicalHash(),
+	}
+}
+
+// handlePseudosphere serves psi(S^n; V) (Definition 3) statistics with
+// optional Betti numbers and connectivity.
+func (s *Server) handlePseudosphere(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	n, err := qInt(q, "n", 2)
+	if err != nil {
+		s.fail(w, r, "pseudosphere", err)
+		return
+	}
+	values, err := qValues(q)
+	if err == nil && (n < 0 || n > maxN) {
+		err = badRequest("n=%d out of range [0, %d]", n, maxN)
+	}
+	withBetti := q.Get("betti") != "false"
+	if err != nil {
+		s.fail(w, r, "pseudosphere", err)
+		return
+	}
+	key := fmt.Sprintf("n=%d|values=%s|betti=%v", n, canonicalValues(values), withBetti)
+	s.serveQuery(w, r, "pseudosphere", key, func(ctx context.Context) (any, error) {
+		facets := int64(1)
+		for i := 0; i <= n; i++ {
+			facets = satMulServe(facets, int64(len(values)))
+		}
+		if facets > s.cfg.MaxFacets {
+			return nil, overBudget("psi(S^%d; %d values) has %d facets, budget %d", n, len(values), facets, s.cfg.MaxFacets)
+		}
+		ps, err := core.Uniform(core.ProcessSimplex(n), values)
+		if err != nil {
+			return nil, badRequestError{msg: err.Error()}
+		}
+		out := struct {
+			N            int          `json:"n"`
+			Values       []string     `json:"values"`
+			Complex      complexStats `json:"complex"`
+			BettiZ2      []int        `json:"betti_z2,omitempty"`
+			Connectivity *int         `json:"connectivity,omitempty"`
+		}{N: n, Values: values, Complex: statsOf(ps)}
+		if withBetti {
+			betti, err := s.engine.BettiZ2Ctx(ctx, ps)
+			if err != nil {
+				return nil, err
+			}
+			out.BettiZ2 = betti
+			conn, err := s.engine.ConnectivityCtx(ctx, ps)
+			if err != nil {
+				return nil, err
+			}
+			out.Connectivity = &conn
+		}
+		return out, nil
+	})
+}
+
+// admitConstruction prices the construction with the roundop seam and
+// rejects it if it exceeds the facet budget.
+func (s *Server) admitConstruction(mp modelParams) (int64, error) {
+	est, err := roundop.EstimateFacets(mp.operator(), inputSimplex(mp.m), mp.r)
+	if err != nil {
+		return 0, err
+	}
+	if est > s.cfg.MaxFacets {
+		return est, overBudget("%s estimates %d facet insertions, budget %d", mp.key(), est, s.cfg.MaxFacets)
+	}
+	return est, nil
+}
+
+// handleRounds serves the r-round complex R^r(S^m) of a model.
+func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request) {
+	mp, err := parseModelParams(r.URL.Query())
+	if err != nil {
+		s.fail(w, r, "rounds", err)
+		return
+	}
+	s.serveQuery(w, r, "rounds", mp.key(), func(ctx context.Context) (any, error) {
+		est, err := s.admitConstruction(mp)
+		if err != nil {
+			return nil, err
+		}
+		res, err := mp.build(ctx, inputSimplex(mp.m), s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return struct {
+			Model           string       `json:"model"`
+			Params          modelJSON    `json:"params"`
+			EstimatedFacets int64        `json:"estimated_facet_insertions"`
+			Complex         complexStats `json:"complex"`
+			Views           int          `json:"views"`
+		}{mp.model, mp.json(), est, statsOf(res.Complex), len(res.Views)}, nil
+	})
+}
+
+// handleConnectivity serves Betti numbers and connectivity of a model's
+// round complex over GF(2) (cancellable, cached by canonical hash via the
+// engine), GF(p), or Q.
+func (s *Server) handleConnectivity(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	mp, err := parseModelParams(q)
+	if err != nil {
+		s.fail(w, r, "connectivity", err)
+		return
+	}
+	field := q.Get("field")
+	if field == "" {
+		field = "z2"
+	}
+	p := 0
+	switch field {
+	case "z2", "q":
+	case "gfp":
+		if p, err = qInt(q, "p", 3); err != nil {
+			s.fail(w, r, "connectivity", err)
+			return
+		}
+	default:
+		s.fail(w, r, "connectivity", badRequest("unknown field %q (want z2, gfp, or q)", field))
+		return
+	}
+	key := mp.key() + "|field=" + field
+	if field == "gfp" {
+		key += "|p=" + strconv.Itoa(p)
+	}
+	s.serveQuery(w, r, "connectivity", key, func(ctx context.Context) (any, error) {
+		if _, err := s.admitConstruction(mp); err != nil {
+			return nil, err
+		}
+		res, err := mp.build(ctx, inputSimplex(mp.m), s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		c := res.Complex
+		var betti []int
+		switch field {
+		case "z2":
+			if betti, err = s.engine.BettiZ2Ctx(ctx, c); err != nil {
+				return nil, err
+			}
+		case "gfp":
+			if betti, err = homology.BettiGFp(c, int64(p)); err != nil {
+				return nil, badRequestError{msg: err.Error()}
+			}
+		case "q":
+			betti = homology.BettiQ(c)
+		}
+		conn := connectivityOf(c, betti)
+		return struct {
+			Model        string       `json:"model"`
+			Params       modelJSON    `json:"params"`
+			Field        string       `json:"field"`
+			P            int          `json:"p,omitempty"`
+			Complex      complexStats `json:"complex"`
+			Betti        []int        `json:"betti"`
+			Connectivity int          `json:"connectivity"`
+		}{mp.model, mp.json(), field, p, statsOf(c), betti, conn}, nil
+	})
+}
+
+// connectivityOf derives the connectivity verdict from non-reduced Betti
+// numbers, matching homology.Connectivity's conventions.
+func connectivityOf(c *topology.Complex, betti []int) int {
+	if c.IsEmpty() {
+		return -2
+	}
+	reduced := make([]int, len(betti))
+	copy(reduced, betti)
+	if len(reduced) > 0 {
+		reduced[0]--
+	}
+	k := -1
+	for d := 0; d < len(reduced); d++ {
+		if reduced[d] != 0 {
+			return k
+		}
+		k = d
+	}
+	return k
+}
+
+// handleDecision runs the exact k-set-agreement solvability search
+// (Theorems 5/7 shape: is the task solvable on this protocol complex?)
+// over the model's round complex built from every input assignment.
+func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	mp, err := parseModelParams(q)
+	if err != nil {
+		s.fail(w, r, "decision", err)
+		return
+	}
+	agree, err := qInt(q, "agree", 1)
+	if err == nil && agree < 1 {
+		err = badRequest("agree=%d must be positive", agree)
+	}
+	if err != nil {
+		s.fail(w, r, "decision", err)
+		return
+	}
+	values, err := qValues(q)
+	if err != nil {
+		s.fail(w, r, "decision", err)
+		return
+	}
+	limit := s.cfg.NodeLimit
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v <= 0 {
+			s.fail(w, r, "decision", badRequest("limit=%q is not a positive integer", raw))
+			return
+		}
+		if v < limit {
+			limit = v
+		}
+	}
+	includeMap := q.Get("include_map") == "true"
+	key := fmt.Sprintf("%s|agree=%d|values=%s|limit=%d|map=%v", mp.key(), agree, canonicalValues(values), limit, includeMap)
+	s.serveQuery(w, r, "decision", key, func(ctx context.Context) (any, error) {
+		// The protocol complex unions R^r over every input facet; facets
+		// differ only in labels, so one estimate prices them all.
+		inputs := core.InputFacets(mp.n, values)
+		perInput, err := roundop.EstimateFacets(mp.operator(), inputs[0], mp.r)
+		if err != nil {
+			return nil, err
+		}
+		if total := satMulServe(perInput, int64(len(inputs))); total > s.cfg.MaxFacets {
+			return nil, overBudget("%d inputs x %d facet insertions exceeds budget %d", len(inputs), perInput, s.cfg.MaxFacets)
+		}
+		res := pc.NewResult()
+		for _, input := range inputs {
+			sub, err := mp.build(ctx, input, s.cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			res.Merge(sub)
+		}
+		ann := task.AnnotateViews(res.Complex, res.Views)
+		bits := task.SearchSpaceLog2(ann)
+		if bits > s.cfg.MaxSearchBits {
+			return nil, overBudget("decision search space is 2^%.0f candidates, budget 2^%.0f", bits, s.cfg.MaxSearchBits)
+		}
+		dm, found, err := task.FindDecisionParallelCtx(ctx, ann, agree, limit, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		out := struct {
+			Model         string        `json:"model"`
+			Params        modelJSON     `json:"params"`
+			Agree         int           `json:"agree"`
+			Values        []string      `json:"values"`
+			Complex       complexStats  `json:"complex"`
+			SearchBits    float64       `json:"search_space_bits"`
+			NodeLimit     int64         `json:"node_limit"`
+			Solvable      bool          `json:"solvable"`
+			DecisionMap   []decisionRow `json:"decision_map,omitempty"`
+			DecisionVerts int           `json:"decision_vertices,omitempty"`
+		}{mp.model, mp.json(), agree, values, statsOf(res.Complex), bits, limit, found, nil, len(dm)}
+		if includeMap && found {
+			out.DecisionMap = decisionRows(dm)
+		}
+		return out, nil
+	})
+}
+
+// decisionRow is one vertex assignment of a decision map.
+type decisionRow struct {
+	P        int    `json:"p"`
+	View     string `json:"view"`
+	Decision string `json:"decision"`
+}
+
+func decisionRows(dm task.DecisionMap) []decisionRow {
+	rows := make([]decisionRow, 0, len(dm))
+	for v, val := range dm {
+		rows = append(rows, decisionRow{P: v.P, View: v.Label, Decision: val})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].P != rows[j].P {
+			return rows[i].P < rows[j].P
+		}
+		return rows[i].View < rows[j].View
+	})
+	return rows
+}
+
+// modelJSON is the echo of the effective model parameters in responses.
+type modelJSON struct {
+	N  int `json:"n"`
+	M  int `json:"m"`
+	F  int `json:"f,omitempty"`
+	K  int `json:"k,omitempty"`
+	C1 int `json:"c1,omitempty"`
+	C2 int `json:"c2,omitempty"`
+	D  int `json:"d,omitempty"`
+	R  int `json:"r"`
+}
+
+func (mp modelParams) json() modelJSON {
+	out := modelJSON{N: mp.n, M: mp.m, R: mp.r}
+	switch mp.model {
+	case "async":
+		out.F = mp.f
+	case "sync", "custom":
+		out.K = mp.k
+	case "semisync":
+		out.K = mp.k
+		out.C1, out.C2, out.D = mp.c1, mp.c2, mp.d
+	}
+	return out
+}
+
+// canonicalValues renders a value set for cache keys.
+func canonicalValues(values []string) string {
+	sorted := make([]string, len(values))
+	copy(sorted, values)
+	sort.Strings(sorted)
+	out := ""
+	for i, v := range sorted {
+		if i > 0 {
+			out += ","
+		}
+		out += v
+	}
+	return out
+}
+
+// satMulServe mirrors roundop's saturating multiply for local budgets.
+func satMulServe(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	const max = int64(^uint64(0) >> 1)
+	if a > max/b {
+		return max
+	}
+	return a * b
+}

@@ -1,0 +1,418 @@
+// Package serve implements the long-running query service over the
+// toolkit's engines: pseudosphere and round-complex construction
+// (Lemmas 11/14/19 via the unified round operator), Betti/connectivity
+// verdicts (Lemmas 12/16/17/21), and decision-map searches (Theorems 5/7)
+// as HTTP/JSON endpoints. Every result is a pure function of a small
+// parameter tuple, so the service is a cache stack:
+//
+//	response singleflight (concurrent identical requests coalesce)
+//	→ content-addressed disk store (internal/store; survives restarts)
+//	→ in-memory singleflight homology.Cache with the store as Backing
+//	→ the engines, under a bounded admission-control pool
+//
+// Cache hits are served before admission, so a saturated pool still
+// answers warm traffic; misses pay one pool slot, carry the request's
+// deadline and disconnect into the ...Ctx enumeration variants, and are
+// priced upfront by roundop.EstimateFacets / task.SearchSpaceLog2 so
+// oversized requests are refused in microseconds.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"pseudosphere/internal/homology"
+	"pseudosphere/internal/obs"
+	"pseudosphere/internal/store"
+	"pseudosphere/internal/task"
+)
+
+// Config tunes the service; zero values select the documented defaults.
+type Config struct {
+	// StoreDir roots the disk store; empty disables cross-restart caching.
+	StoreDir string
+	// Workers is the goroutine budget each construction/reduction may use
+	// (0 = NumCPU).
+	Workers int
+	// Pool bounds concurrent computes (0 = NumCPU); Queue bounds how many
+	// more may wait for a slot (0 = 4*Pool, negative = none).
+	Pool  int
+	Queue int
+	// RequestTimeout is the per-request compute deadline (0 = 60s); a
+	// request may shorten it with timeout_ms but never extend it.
+	RequestTimeout time.Duration
+	// MaxFacets rejects construction requests whose estimated facet
+	// insertions exceed it (0 = 8 million).
+	MaxFacets int64
+	// MaxSearchBits rejects decision searches whose candidate space
+	// exceeds 2^MaxSearchBits (0 = 4096).
+	MaxSearchBits float64
+	// NodeLimit is the decision search node budget (0 = 20 million).
+	NodeLimit int64
+	// Tracker receives request/latency/cache metrics (nil: a fresh one).
+	Tracker *obs.Tracker
+	// Log receives operational lines (nil: the standard logger).
+	Log *log.Logger
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Pool <= 0 {
+		c.Pool = runtime.NumCPU()
+	}
+	if c.Queue == 0 {
+		c.Queue = 4 * c.Pool
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxFacets <= 0 {
+		c.MaxFacets = 8_000_000
+	}
+	if c.MaxSearchBits <= 0 {
+		c.MaxSearchBits = 4096
+	}
+	if c.NodeLimit <= 0 {
+		c.NodeLimit = 20_000_000
+	}
+	if c.Tracker == nil {
+		c.Tracker = obs.NewTracker()
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+}
+
+// Server is the query service. Create with New, mount Handler, and Close
+// on shutdown after the HTTP server has drained.
+type Server struct {
+	cfg     Config
+	tracker *obs.Tracker
+	store   *store.Store // nil when disk caching is disabled
+	betti   *homology.Cache
+	engine  *homology.Engine
+	flights *flightGroup
+	adm     *admission
+	mux     *http.ServeMux
+
+	// hardStop cancels every in-flight compute when a drain deadline is
+	// exceeded; see Abort.
+	hardStop context.Context
+	abort    context.CancelFunc
+
+	// Write-behind queue for response-store puts: persisting a response
+	// is off the request path, and Close drains what is pending (the
+	// "flush" of graceful shutdown). A full queue falls back to a
+	// synchronous put rather than dropping warmth.
+	putq      chan putReq
+	putDone   sync.WaitGroup
+	closeOnce sync.Once
+}
+
+type putReq struct {
+	key  string
+	body []byte
+}
+
+// New builds a Server from cfg, opening the disk store when configured.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	s := &Server{
+		cfg:     cfg,
+		tracker: cfg.Tracker,
+		betti:   homology.NewCache(),
+		flights: newFlightGroup(),
+		adm:     newAdmission(cfg.Pool, cfg.Queue),
+		mux:     http.NewServeMux(),
+		putq:    make(chan putReq, 256),
+	}
+	s.hardStop, s.abort = context.WithCancel(context.Background())
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.betti.SetBacking(bettiBacking{st: st})
+	}
+	s.engine = homology.NewEngine(cfg.Workers, s.betti)
+	s.putDone.Add(1)
+	go s.putLoop()
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /v1/pseudosphere", s.handlePseudosphere)
+	s.mux.HandleFunc("GET /v1/rounds", s.handleRounds)
+	s.mux.HandleFunc("GET /v1/connectivity", s.handleConnectivity)
+	s.mux.HandleFunc("GET /v1/decision", s.handleDecision)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Tracker returns the metrics tracker (for expvar publication and tests).
+func (s *Server) Tracker() *obs.Tracker { return s.tracker }
+
+// Store returns the disk store, or nil when disabled.
+func (s *Server) Store() *store.Store { return s.store }
+
+// Abort cancels every in-flight compute; call it only when a graceful
+// drain has exceeded its deadline.
+func (s *Server) Abort() { s.abort() }
+
+// Close flushes the pending response-store writes and logs final cache
+// statistics. Call after the HTTP server has drained; the server must not
+// receive requests afterwards. Close is idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.putq)
+		s.putDone.Wait()
+		s.abort()
+		if s.store != nil {
+			hits, misses, puts, evictions := s.store.Stats()
+			s.cfg.Log.Printf("serve: store closed (hits=%d misses=%d puts=%d evictions=%d)", hits, misses, puts, evictions)
+		}
+		bh, bm, entries := s.betti.Stats()
+		s.cfg.Log.Printf("serve: betti cache closed (mem hits=%d misses=%d backing hits=%d entries=%d)", bh, bm, s.betti.BackingHits(), entries)
+	})
+	return nil
+}
+
+// putLoop persists responses in the background.
+func (s *Server) putLoop() {
+	defer s.putDone.Done()
+	for req := range s.putq {
+		if err := s.store.Put(req.key, req.body); err != nil {
+			s.cfg.Log.Printf("serve: store put: %v", err)
+		}
+	}
+}
+
+// persist enqueues a response-store write, falling back to a synchronous
+// put when the queue is full.
+func (s *Server) persist(key string, body []byte) {
+	if s.store == nil {
+		return
+	}
+	select {
+	case s.putq <- putReq{key: key, body: body}:
+	default:
+		if err := s.store.Put(key, body); err != nil {
+			s.cfg.Log.Printf("serve: store put: %v", err)
+		}
+	}
+}
+
+// bettiBacking adapts the disk store to the homology cache's Backing
+// seam: Betti vectors keyed by complex canonical hash survive restarts
+// and are shared across every endpoint and parameter tuple that builds a
+// hash-identical complex.
+type bettiBacking struct{ st *store.Store }
+
+func (b bettiBacking) Get(key string) ([]int, bool) {
+	raw, ok := b.st.Get("betti-z2|" + key)
+	if !ok {
+		return nil, false
+	}
+	var betti []int
+	if err := json.Unmarshal(raw, &betti); err != nil {
+		return nil, false
+	}
+	return betti, true
+}
+
+func (b bettiBacking) Put(key string, betti []int) {
+	raw, err := json.Marshal(betti)
+	if err != nil {
+		return
+	}
+	b.st.Put("betti-z2|"+key, raw) //nolint:errcheck // best-effort persistence
+}
+
+// requestCtx derives the compute context: the client's context (so a
+// disconnect cancels the enumeration), capped by the server deadline
+// (shortenable per-request via timeout_ms), additionally cancelled by
+// Abort, and carrying the metrics tracker for the engines' obs counters.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := s.cfg.RequestTimeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			return nil, nil, badRequest("timeout_ms=%q is not a positive integer", raw)
+		}
+		if d := time.Duration(ms) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx := obs.WithTracker(r.Context(), s.tracker)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	stop := context.AfterFunc(s.hardStop, cancel)
+	return ctx, func() { stop(); cancel() }, nil
+}
+
+// serveQuery is the shared endpoint spine: metrics, the response cache
+// stack, admission, compute, persistence, and error mapping. key is the
+// canonical identity of the request; compute produces the response value
+// to marshal.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(ctx context.Context) (any, error)) {
+	startAt := time.Now()
+	s.tracker.Counter("requests").Add(1)
+	s.tracker.Counter("requests." + endpoint).Add(1)
+	defer func() {
+		s.tracker.Counter("latency_us." + endpoint).Add(uint64(time.Since(startAt).Microseconds()))
+		s.tracker.Counter("latency_count." + endpoint).Add(1)
+	}()
+
+	respKey := "resp|" + endpoint + "|" + key
+	if s.store != nil {
+		if body, ok := s.store.Get(respKey); ok {
+			s.tracker.Counter("resp_store_hits").Add(1)
+			writeJSONBytes(w, "hit", body)
+			return
+		}
+	}
+	s.tracker.Counter("resp_store_misses").Add(1)
+
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		s.fail(w, r, endpoint, err)
+		return
+	}
+	defer cancel()
+
+	body, followed, err := s.flights.do(ctx, respKey, func() ([]byte, error) {
+		if err := s.adm.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.adm.release()
+		v, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		s.persist(respKey, body)
+		return body, nil
+	})
+	if err != nil {
+		s.fail(w, r, endpoint, err)
+		return
+	}
+	status := "miss"
+	if followed {
+		s.tracker.Counter("resp_flight_waits").Add(1)
+		status = "flight"
+	}
+	writeJSONBytes(w, status, body)
+}
+
+// fail maps compute errors to HTTP statuses and counters.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, endpoint string, err error) {
+	var br badRequestError
+	switch {
+	case errors.As(err, &br):
+		s.tracker.Counter("bad_requests").Add(1)
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, errSaturated):
+		s.tracker.Counter("rejected_saturated").Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, errBudget):
+		s.tracker.Counter("rejected_budget").Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+	case errors.Is(err, task.ErrSearchLimit):
+		s.tracker.Counter("rejected_budget").Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.tracker.Counter("timeouts").Add(1)
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		// Client went away (or the drain deadline aborted us): count the
+		// cancellation and write the status for whoever may still read it.
+		s.tracker.Counter("cancelled").Add(1)
+		writeError(w, statusClientClosedRequest, err)
+	default:
+		s.tracker.Counter("errors").Add(1)
+		s.cfg.Log.Printf("serve: %s %s: %v", endpoint, r.URL.RawQuery, err)
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional code for a client
+// that disconnected before the response was ready.
+const statusClientClosedRequest = 499
+
+// errBudget marks admission rejections of oversized requests.
+var errBudget = errors.New("request exceeds the service work budget")
+
+func overBudget(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errBudget, fmt.Sprintf(format, args...))
+}
+
+func writeJSONBytes(w http.ResponseWriter, cacheStatus string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheStatus)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body) //nolint:errcheck // client disconnects are expected
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}
+
+// handleHealthz answers readiness probes.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{"status":"ok"}`)) //nolint:errcheck
+}
+
+// handleMetrics reports the service counters plus the cache-stack and
+// admission state as one JSON document; the CI smoke test and cmd/loadgen
+// read hit counters here.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	type cacheStats struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Puts      uint64 `json:"puts,omitempty"`
+		Evictions uint64 `json:"evictions,omitempty"`
+		Waits     uint64 `json:"waits,omitempty"`
+		Backing   uint64 `json:"backing_hits,omitempty"`
+		Entries   int    `json:"entries"`
+	}
+	out := struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Store      *cacheStats       `json:"store,omitempty"`
+		BettiCache cacheStats        `json:"betti_cache"`
+		Running    int64             `json:"computes_running"`
+		Queued     int64             `json:"computes_queued"`
+	}{Counters: s.tracker.Counters()}
+	if s.store != nil {
+		h, m, p, e := s.store.Stats()
+		out.Store = &cacheStats{Hits: h, Misses: m, Puts: p, Evictions: e, Entries: s.store.Len()}
+	}
+	bh, bm, entries := s.betti.Stats()
+	out.BettiCache = cacheStats{Hits: bh, Misses: bm, Waits: s.betti.Waits(), Backing: s.betti.BackingHits(), Entries: entries}
+	out.Running, out.Queued = s.adm.load()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out) //nolint:errcheck
+}

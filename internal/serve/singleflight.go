@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// respFlight is one in-progress response computation; body and err are
+// written before done is closed and read only after.
+type respFlight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// flightGroup coalesces concurrent identical requests at the response
+// level, mirroring the homology.Cache singleflight one layer up: the
+// first request for a key computes (and pays admission); followers wait
+// for its bytes instead of duplicating the enumeration or occupying pool
+// slots. Completed responses are not retained here — cross-request reuse
+// is the disk store's job.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*respFlight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*respFlight)}
+}
+
+// do returns compute()'s bytes for key, deduplicating concurrent calls:
+// one leader computes, followers block until it finishes (or their ctx
+// fires). followed reports whether this call waited on another's compute.
+func (g *flightGroup) do(ctx context.Context, key string, compute func() ([]byte, error)) (body []byte, followed bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.body, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &respFlight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.body, f.err = compute()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.body, false, f.err
+}

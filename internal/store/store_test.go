@@ -1,0 +1,167 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := mustOpen(t)
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	payload := []byte(`{"betti":[1,0,2]}`)
+	if err := s.Put("k1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k1")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	// Distinct keys are isolated.
+	if _, ok := s.Get("k2"); ok {
+		t.Fatal("Get(k2) hit after Put(k1)")
+	}
+	// Overwrite wins.
+	if err := s.Put("k1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("k1"); string(got) != "v2" {
+		t.Fatalf("after overwrite Get = %q, want v2", got)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	s := mustOpen(t)
+	if err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("empty")
+	if !ok || len(got) != 0 {
+		t.Fatalf("Get(empty) = %q, %v; want empty payload hit", got, ok)
+	}
+}
+
+// corrupt applies f to the entry file behind key.
+func corrupt(t *testing.T, s *Store, key string, f func([]byte) []byte) {
+	t.Helper()
+	path := s.pathOf(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, f(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptionEvictsAndRecomputes is the satellite contract: a
+// truncated or garbage cache file must read as a miss and be evicted —
+// never panic, never serve wrong bytes — and a subsequent Put/Get cycle
+// (the caller's recompute) must succeed.
+func TestCorruptionEvictsAndRecomputes(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func([]byte) []byte
+	}{
+		{"truncated-header", func(raw []byte) []byte { return raw[:headerSize/2] }},
+		{"truncated-payload", func(raw []byte) []byte { return raw[:len(raw)-3] }},
+		{"garbage", func([]byte) []byte { return []byte("not a store entry at all") }},
+		{"bad-magic", func(raw []byte) []byte { raw[0] ^= 0xff; return raw }},
+		{"bit-flip-payload", func(raw []byte) []byte { raw[len(raw)-1] ^= 0x01; return raw }},
+		{"length-lies", func(raw []byte) []byte { raw[8] ^= 0x01; return raw }},
+		{"empty-file", func([]byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustOpen(t)
+			payload := []byte("precious correct bytes")
+			if err := s.Put("k", payload); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, s, "k", tc.f)
+			got, ok := s.Get("k")
+			if ok {
+				t.Fatalf("corrupt entry served as a hit: %q", got)
+			}
+			if _, _, _, ev := s.Stats(); ev != 1 {
+				t.Fatalf("evictions = %d, want 1", ev)
+			}
+			if _, err := os.Stat(s.pathOf("k")); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not unlinked (stat err %v)", err)
+			}
+			// Recompute path: the caller rewrites and reads back cleanly.
+			if err := s.Put("k", payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get("k"); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("recomputed Get = %q, %v; want %q, true", got, ok, payload)
+			}
+		})
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := mustOpen(t)
+	s.Get("a")
+	s.Put("a", []byte("x"))
+	s.Get("a")
+	hits, misses, puts, evictions := s.Stats()
+	if hits != 1 || misses != 1 || puts != 1 || evictions != 0 {
+		t.Fatalf("Stats = %d %d %d %d, want 1 1 1 0", hits, misses, puts, evictions)
+	}
+}
+
+// TestConcurrentHammer is the -race hammer: many goroutines get, put,
+// and corrupt a small key space concurrently. Every successful Get must
+// return a payload that some Put wrote for that exact key.
+func TestConcurrentHammer(t *testing.T) {
+	s := mustOpen(t)
+	const keys = 8
+	const goroutines = 16
+	const opsPerG = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < opsPerG; i++ {
+				k := fmt.Sprintf("key-%d", rng.Intn(keys))
+				switch rng.Intn(3) {
+				case 0:
+					if err := s.Put(k, []byte("payload of "+k)); err != nil {
+						t.Errorf("Put(%s): %v", k, err)
+						return
+					}
+				case 1:
+					if got, ok := s.Get(k); ok && string(got) != "payload of "+k {
+						t.Errorf("Get(%s) returned wrong bytes %q", k, got)
+						return
+					}
+				default:
+					// Scribble garbage over the entry path to race
+					// corruption against readers and writers.
+					os.WriteFile(s.pathOf(k), []byte("junk"), 0o644)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -171,3 +171,21 @@ func TestRunOutcomeChecks(t *testing.T) {
 		t.Fatalf("crashed processes are exempt from termination: %v", err)
 	}
 }
+
+func TestSearchSpaceLog2(t *testing.T) {
+	c := topology.ComplexOf(topology.Simplex{v(0, "a"), v(1, "b"), v(2, "c")})
+	a := annotated(c, map[topology.Vertex][]string{
+		v(0, "a"): {"0", "1"},      // 1 bit
+		v(1, "b"): {"0", "1", "2"}, // log2 3 bits
+		v(2, "c"): {"0"},           // forced: 0 bits
+	})
+	got := SearchSpaceLog2(a)
+	want := 1 + 1.584962500721156
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("SearchSpaceLog2 = %v, want %v", got, want)
+	}
+	empty := annotated(topology.NewComplex(), nil)
+	if got := SearchSpaceLog2(empty); got != 0 {
+		t.Fatalf("SearchSpaceLog2(empty) = %v, want 0", got)
+	}
+}
