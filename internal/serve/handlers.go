@@ -151,6 +151,17 @@ func (s *Server) handleConnectivity(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, r, "connectivity", err)
 			return
 		}
+		// Validate the modulus here, not in homology.BettiGFp after a full
+		// construction: a bad p must cost a 400, not a built complex — and
+		// BettiGFp's Fermat inverses are silently wrong for composite p.
+		if p > maxGFpP {
+			s.fail(w, r, "connectivity", badRequest("p=%d exceeds the limit of %d", p, maxGFpP))
+			return
+		}
+		if !isPrime(p) {
+			s.fail(w, r, "connectivity", badRequest("p=%d is not a prime", p))
+			return
+		}
 	default:
 		s.fail(w, r, "connectivity", badRequest("unknown field %q (want z2, gfp, or q)", field))
 		return
@@ -252,16 +263,27 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 	includeMap := q.Get("include_map") == "true"
 	key := fmt.Sprintf("%s|agree=%d|values=%s|limit=%d|map=%v", mp.key(), agree, canonicalValues(values), limit, includeMap)
 	s.serveQuery(w, r, "decision", key, func(ctx context.Context) (any, error) {
+		// There are |values|^(n+1) input facets, so the enumeration itself
+		// is the memory hazard: price the count arithmetically (saturating)
+		// and refuse before materializing a single simplex.
+		numInputs := int64(1)
+		for i := 0; i <= mp.n; i++ {
+			numInputs = satMulServe(numInputs, int64(len(values)))
+		}
+		if numInputs > s.cfg.MaxFacets {
+			return nil, overBudget("%d^%d = %d input facets exceeds budget %d", len(values), mp.n+1, numInputs, s.cfg.MaxFacets)
+		}
 		// The protocol complex unions R^r over every input facet; facets
-		// differ only in labels, so one estimate prices them all.
-		inputs := core.InputFacets(mp.n, values)
-		perInput, err := roundop.EstimateFacets(mp.operator(), inputs[0], mp.r)
+		// differ only in labels, so one uniform representative prices them
+		// all without enumerating the rest.
+		perInput, err := roundop.EstimateFacets(mp.operator(), uniformInputFacet(mp.n, values[0]), mp.r)
 		if err != nil {
 			return nil, err
 		}
-		if total := satMulServe(perInput, int64(len(inputs))); total > s.cfg.MaxFacets {
-			return nil, overBudget("%d inputs x %d facet insertions exceeds budget %d", len(inputs), perInput, s.cfg.MaxFacets)
+		if total := satMulServe(perInput, numInputs); total > s.cfg.MaxFacets {
+			return nil, overBudget("%d inputs x %d facet insertions exceeds budget %d", numInputs, perInput, s.cfg.MaxFacets)
 		}
+		inputs := core.InputFacets(mp.n, values)
 		res := pc.NewResult()
 		for _, input := range inputs {
 			sub, err := mp.build(ctx, input, s.cfg.Workers)

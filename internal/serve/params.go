@@ -24,6 +24,10 @@ const (
 	maxN      = 12
 	maxRounds = 6
 	maxValues = 16
+	// maxGFpP caps field=gfp moduli: far below the int64 overflow bound of
+	// the dense GF(p) elimination (p^2 terms), and small enough that the
+	// trial-division primality check is microseconds.
+	maxGFpP = 1 << 20
 )
 
 // badRequestError marks client errors that map to HTTP 400.
@@ -205,6 +209,31 @@ func (mp modelParams) build(ctx context.Context, input topology.Simplex, workers
 	default:
 		return custommodel.RoundsParallelCtx(ctx, input, custommodel.Params{PerRound: mp.k}, mp.r, workers)
 	}
+}
+
+// uniformInputFacet is the input facet where every process holds the same
+// value — a representative for admission pricing, since facet estimates
+// depend only on the input's dimension, not its labels.
+func uniformInputFacet(n int, label string) topology.Simplex {
+	vs := make(topology.Simplex, n+1)
+	for i := range vs {
+		vs[i] = topology.Vertex{P: i, Label: label}
+	}
+	return vs
+}
+
+// isPrime reports primality by trial division; callers cap the argument
+// (maxGFpP) so this is microseconds.
+func isPrime(p int) bool {
+	if p < 2 {
+		return false
+	}
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // inputSimplex builds the m-dimensional input simplex with the same

@@ -11,10 +11,13 @@
 //	→ the engines, under a bounded admission-control pool
 //
 // Cache hits are served before admission, so a saturated pool still
-// answers warm traffic; misses pay one pool slot, carry the request's
-// deadline and disconnect into the ...Ctx enumeration variants, and are
-// priced upfront by roundop.EstimateFacets / task.SearchSpaceLog2 so
-// oversized requests are refused in microseconds.
+// answers warm traffic; misses pay one pool slot and are priced upfront
+// by roundop.EstimateFacets / task.SearchSpaceLog2 so oversized requests
+// are refused in microseconds. A miss's compute runs under a context that
+// is cancelled (flowing into the ...Ctx enumeration variants) when the
+// last request waiting on it disconnects or times out — so coalesced
+// followers are not failed by the leader's disconnect, and an abandoned
+// enumeration still unwinds promptly.
 package serve
 
 import (
@@ -116,9 +119,13 @@ type Server struct {
 
 	// Write-behind queue for response-store puts: persisting a response
 	// is off the request path, and Close drains what is pending (the
-	// "flush" of graceful shutdown). A full queue falls back to a
-	// synchronous put rather than dropping warmth.
+	// "flush" of graceful shutdown). A full or closed queue falls back to
+	// a synchronous put rather than dropping warmth; putMu/putClosed keep
+	// a compute that finishes during a hard abort from sending on the
+	// closed channel.
 	putq      chan putReq
+	putMu     sync.RWMutex
+	putClosed bool
 	putDone   sync.WaitGroup
 	closeOnce sync.Once
 }
@@ -181,6 +188,9 @@ func (s *Server) Abort() { s.abort() }
 // receive requests afterwards. Close is idempotent.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		s.putMu.Lock()
+		s.putClosed = true
+		s.putMu.Unlock()
 		close(s.putq)
 		s.putDone.Wait()
 		s.abort()
@@ -205,17 +215,25 @@ func (s *Server) putLoop() {
 }
 
 // persist enqueues a response-store write, falling back to a synchronous
-// put when the queue is full.
+// put when the queue is full — or already closed: Abort-style shutdown
+// (httpSrv.Close) does not wait for handler goroutines, so a compute that
+// succeeds just before Close may persist concurrently with close(putq).
 func (s *Server) persist(key string, body []byte) {
 	if s.store == nil {
 		return
 	}
-	select {
-	case s.putq <- putReq{key: key, body: body}:
-	default:
-		if err := s.store.Put(key, body); err != nil {
-			s.cfg.Log.Printf("serve: store put: %v", err)
+	s.putMu.RLock()
+	if !s.putClosed {
+		select {
+		case s.putq <- putReq{key: key, body: body}:
+			s.putMu.RUnlock()
+			return
+		default:
 		}
+	}
+	s.putMu.RUnlock()
+	if err := s.store.Put(key, body); err != nil {
+		s.cfg.Log.Printf("serve: store put: %v", err)
 	}
 }
 
@@ -296,12 +314,12 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint, ke
 	}
 	defer cancel()
 
-	body, followed, err := s.flights.do(ctx, respKey, func() ([]byte, error) {
-		if err := s.adm.acquire(ctx); err != nil {
+	body, followed, err := s.flights.do(ctx, respKey, func(cctx context.Context) ([]byte, error) {
+		if err := s.adm.acquire(cctx); err != nil {
 			return nil, err
 		}
 		defer s.adm.release()
-		v, err := compute(ctx)
+		v, err := compute(cctx)
 		if err != nil {
 			return nil, err
 		}

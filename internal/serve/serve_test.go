@@ -270,6 +270,63 @@ func TestBudgetAdmission(t *testing.T) {
 	}
 }
 
+// TestDecisionInputBudget pins the REVIEW fix: a /v1/decision request
+// whose |values|^(n+1) input facets exceed the budget must be refused by
+// arithmetic (413, fast) — never by enumerating the inputs first, which
+// at n=12 with 16 values would be ~16^13 simplices and an OOM kill.
+func TestDecisionInputBudget(t *testing.T) {
+	s := newTestServer(t, "", nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	code, _, body := get(t, ts,
+		"/v1/decision?model=async&n=12&f=1&r=1&values=0,1,2,3,4,5,6,7,8,9,a,b,c,d,e,f")
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d (want 413): %v", code, body)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("input-facet rejection took %v; it must not materialize the inputs", elapsed)
+	}
+	_, _, metrics := get(t, ts, "/metrics")
+	if c := metrics["counters"].(map[string]any); c["rejected_budget"].(float64) != 1 {
+		t.Fatalf("rejected_budget counter: %v", c["rejected_budget"])
+	}
+}
+
+// TestGFpValidatedAtParse pins the REVIEW fix: a non-prime (or oversized)
+// p for field=gfp is a 400 at parse time — before admission and before
+// any construction work is spent.
+func TestGFpValidatedAtParse(t *testing.T) {
+	s := newTestServer(t, "", nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, bad := range []string{"4", "1", "0", "-7", "9", "1048577"} {
+		// Large model params: if validation ran after construction this
+		// would take seconds and move the facets counter.
+		code, _, body := get(t, ts, "/v1/connectivity?model=async&n=4&f=4&r=1&field=gfp&p="+bad)
+		if code != http.StatusBadRequest {
+			t.Errorf("p=%s: status %d (want 400): %v", bad, code, body)
+		}
+	}
+	if got := s.Tracker().Counters()["facets"]; got != 0 {
+		t.Fatalf("invalid p still built a complex (%d facet insertions)", got)
+	}
+}
+
+// TestPersistAfterClose pins the REVIEW fix: a compute that finishes
+// after Close (the hard-abort path does not wait for handler goroutines)
+// must fall back to a synchronous put, not panic on the closed queue.
+func TestPersistAfterClose(t *testing.T) {
+	s := newTestServer(t, t.TempDir(), nil)
+	s.Close()
+	s.persist("resp|late", []byte(`{"late":true}`))
+	if _, ok := s.store.Get("resp|late"); !ok {
+		t.Fatal("post-Close persist did not land via the synchronous fallback")
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	s := newTestServer(t, "", nil)
 	ts := httptest.NewServer(s.Handler())

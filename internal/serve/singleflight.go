@@ -2,15 +2,20 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
 
 // respFlight is one in-progress response computation; body and err are
-// written before done is closed and read only after.
+// written before done is closed and read only after. waiters counts the
+// requests (leader included) still interested in the result; when it
+// reaches zero the compute context is cancelled.
 type respFlight struct {
-	done chan struct{}
-	body []byte
-	err  error
+	done    chan struct{}
+	body    []byte
+	err     error
+	waiters int
+	cancel  context.CancelFunc
 }
 
 // flightGroup coalesces concurrent identical requests at the response
@@ -19,6 +24,11 @@ type respFlight struct {
 // for its bytes instead of duplicating the enumeration or occupying pool
 // slots. Completed responses are not retained here — cross-request reuse
 // is the disk store's job.
+//
+// The compute runs detached from any single request's context: it is
+// cancelled only when every waiter has gone away (each on its own
+// disconnect or deadline), so a follower with a healthy connection is
+// never failed by the leader's disconnect or shorter timeout.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*respFlight
@@ -29,27 +39,70 @@ func newFlightGroup() *flightGroup {
 }
 
 // do returns compute()'s bytes for key, deduplicating concurrent calls:
-// one leader computes, followers block until it finishes (or their ctx
-// fires). followed reports whether this call waited on another's compute.
-func (g *flightGroup) do(ctx context.Context, key string, compute func() ([]byte, error)) (body []byte, followed bool, err error) {
-	g.mu.Lock()
-	if f, ok := g.m[key]; ok {
+// one leader starts the compute, everyone (leader included) blocks until
+// it finishes or their own ctx fires. followed reports whether this call
+// joined a compute another request started.
+//
+// compute receives a context that keeps ctx's values (the obs tracker)
+// but not its cancellation: it is cancelled when the last waiter departs,
+// so the effective deadline is the longest deadline among the requests
+// sharing the flight.
+func (g *flightGroup) do(ctx context.Context, key string, compute func(ctx context.Context) ([]byte, error)) (body []byte, followed bool, err error) {
+	for {
+		g.mu.Lock()
+		if f, ok := g.m[key]; ok {
+			f.waiters++
+			g.mu.Unlock()
+			select {
+			case <-f.done:
+				if ctxErr(f.err) && ctx.Err() == nil {
+					// The flight was abandoned: every waiter's context fired
+					// before we joined (or while the last of them departed),
+					// none of them ours. Start over as a new leader.
+					g.leave(f)
+					continue
+				}
+				return f.body, true, f.err
+			case <-ctx.Done():
+				g.leave(f)
+				return nil, true, ctx.Err()
+			}
+		}
+		f := &respFlight{done: make(chan struct{}), waiters: 1}
+		var cctx context.Context
+		cctx, f.cancel = context.WithCancel(context.WithoutCancel(ctx))
+		g.m[key] = f
 		g.mu.Unlock()
+		go func() {
+			f.body, f.err = compute(cctx)
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(f.done)
+			f.cancel()
+		}()
 		select {
 		case <-f.done:
-			return f.body, true, f.err
+			return f.body, false, f.err
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			g.leave(f)
+			return nil, false, ctx.Err()
 		}
 	}
-	f := &respFlight{done: make(chan struct{})}
-	g.m[key] = f
-	g.mu.Unlock()
+}
 
-	f.body, f.err = compute()
+// leave records that one waiter stopped caring about f's result; the last
+// one out cancels the compute.
+func (g *flightGroup) leave(f *respFlight) {
 	g.mu.Lock()
-	delete(g.m, key)
+	f.waiters--
+	if f.waiters == 0 {
+		f.cancel()
+	}
 	g.mu.Unlock()
-	close(f.done)
-	return f.body, false, f.err
+}
+
+// ctxErr reports whether err is a context cancellation or deadline error.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitForWaiters blocks until key's flight has at least n waiters.
+func waitForWaiters(t *testing.T, g *flightGroup, key string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		f, ok := g.m[key]
+		waiters := 0
+		if ok {
+			waiters = f.waiters
+		}
+		g.mu.Unlock()
+		if waiters >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight %q never reached %d waiters (at %d)", key, n, waiters)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestFlightFollowerSurvivesLeaderCancel pins the REVIEW fix: the compute
+// is detached from the leader's request context, so a follower with a
+// healthy connection gets the real result even when the leader
+// disconnects mid-compute — not the leader's context.Canceled.
+func TestFlightFollowerSurvivesLeaderCancel(t *testing.T) {
+	g := newFlightGroup()
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	compute := func(ctx context.Context) ([]byte, error) {
+		close(started)
+		select {
+		case <-release:
+			return []byte("ok"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	var wg sync.WaitGroup
+	var leaderErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = g.do(leaderCtx, "k", compute)
+	}()
+	<-started
+
+	var followerBody []byte
+	var followerErr error
+	var followed bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		followerBody, followed, followerErr = g.do(context.Background(), "k", compute)
+	}()
+	waitForWaiters(t, g, "k", 2)
+
+	// Leader disconnects; the follower must keep the compute alive.
+	cancelLeader()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		f := g.m["k"]
+		w := 0
+		if f != nil {
+			w = f.waiters
+		}
+		g.mu.Unlock()
+		if w == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader never departed the flight")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", leaderErr)
+	}
+	if followerErr != nil {
+		t.Fatalf("follower error = %v, want nil (must not inherit the leader's cancellation)", followerErr)
+	}
+	if string(followerBody) != "ok" {
+		t.Fatalf("follower body = %q, want \"ok\"", followerBody)
+	}
+	if !followed {
+		t.Fatal("follower did not report joining the leader's flight")
+	}
+}
+
+// TestFlightCancelsWhenAllWaitersLeave: an enumeration nobody is waiting
+// for anymore must be cancelled, not left grinding to completion.
+func TestFlightCancelsWhenAllWaitersLeave(t *testing.T) {
+	g := newFlightGroup()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	started := make(chan struct{})
+	computeDone := make(chan error, 1)
+	compute := func(cctx context.Context) ([]byte, error) {
+		close(started)
+		<-cctx.Done() // only the flight group's refcount can release this
+		computeDone <- cctx.Err()
+		return nil, cctx.Err()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(ctx, "k", compute)
+		errc <- err
+	}()
+	<-started
+	cancel()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter did not return after its context fired")
+	}
+	select {
+	case err := <-computeDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("compute context error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("compute context was never cancelled after the last waiter left")
+	}
+}
+
+// TestFlightAbandonedFlightRetries: a healthy request that joins a flight
+// just as its last waiter departs (so the compute comes back cancelled)
+// must re-run the compute as a new leader, not surface the stale
+// cancellation.
+func TestFlightAbandonedFlightRetries(t *testing.T) {
+	g := newFlightGroup()
+	calls := 0
+	var mu sync.Mutex
+	compute := func(ctx context.Context) ([]byte, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return []byte("fresh"), nil
+	}
+
+	// Simulate the join race: install a pre-cancelled flight, then have a
+	// healthy waiter join it.
+	f := &respFlight{done: make(chan struct{}), waiters: 0, cancel: func() {}}
+	f.err = context.Canceled
+	g.m["k"] = f
+	go func() {
+		g.mu.Lock()
+		delete(g.m, "k")
+		g.mu.Unlock()
+		close(f.done)
+	}()
+
+	body, _, err := g.do(context.Background(), "k", compute)
+	if err != nil {
+		t.Fatalf("healthy waiter got %v, want a retried compute", err)
+	}
+	if string(body) != "fresh" {
+		t.Fatalf("body = %q, want \"fresh\"", body)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1 (the retry leader)", calls)
+	}
+}
