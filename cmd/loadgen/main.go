@@ -13,6 +13,13 @@
 // queries; each request draws its query by Zipf rank (s=-zipf-s), so a
 // few queries are hot and the tail is cold — the shape a result cache is
 // for. The -seed flag makes runs reproducible.
+//
+// With -async the same workload flows through the job API instead: each
+// draw is submitted as POST /v1/jobs, polled to a terminal state, and its
+// result fetched — the latency samples then measure submit-to-result
+// time. Comparing a -async run with a synchronous one (EXPERIMENTS.md
+// E18) shows what the job indirection costs when the work is small and
+// what it buys when the work is not.
 package main
 
 import (
@@ -22,8 +29,10 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -66,16 +75,21 @@ type sample struct {
 }
 
 func main() {
-	os.Exit(realMain())
+	os.Exit(realMain(os.Args[1:]))
 }
 
-func realMain() int {
-	target := flag.String("target", "http://localhost:8080", "serve base URL")
-	requests := flag.Int("requests", 200, "total requests to issue")
-	concurrency := flag.Int("concurrency", 8, "concurrent clients")
-	zipfS := flag.Float64("zipf-s", 1.2, "Zipf exponent over the query universe (>1)")
-	seed := flag.Int64("seed", 1, "workload RNG seed")
-	flag.Parse()
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	target := fs.String("target", "http://localhost:8080", "serve base URL")
+	requests := fs.Int("requests", 200, "total requests to issue")
+	concurrency := fs.Int("concurrency", 8, "concurrent clients")
+	zipfS := fs.Float64("zipf-s", 1.2, "Zipf exponent over the query universe (>1)")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	asyncMode := fs.Bool("async", false, "drive the job API (submit, poll, fetch result) instead of synchronous GETs")
+	pollEvery := fs.Duration("poll-interval", 20*time.Millisecond, "job status poll interval in -async mode")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	qs := universe()
 	rng := rand.New(rand.NewSource(*seed))
@@ -103,15 +117,19 @@ func realMain() int {
 		go func() {
 			defer wg.Done()
 			for q := range work {
-				t0 := time.Now()
-				s := sample{}
-				resp, err := client.Get(*target + q)
-				s.latency = time.Since(t0)
-				if err == nil {
-					io.Copy(io.Discard, resp.Body) //nolint:errcheck
-					resp.Body.Close()
-					s.status = resp.StatusCode
-					s.cache = resp.Header.Get("X-Cache")
+				var s sample
+				if *asyncMode {
+					s = runJob(client, *target, q, *pollEvery)
+				} else {
+					t0 := time.Now()
+					resp, err := client.Get(*target + q)
+					s.latency = time.Since(t0)
+					if err == nil {
+						io.Copy(io.Discard, resp.Body) //nolint:errcheck
+						resp.Body.Close()
+						s.status = resp.StatusCode
+						s.cache = resp.Header.Get("X-Cache")
+					}
 				}
 				mu.Lock()
 				samples = append(samples, s)
@@ -131,6 +149,76 @@ func realMain() int {
 		return 1
 	}
 	return 0
+}
+
+// specOf converts a synchronous query path ("/v1/rounds?model=...") into
+// the equivalent job submission body.
+func specOf(q string) ([]byte, error) {
+	u, err := url.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	endpoint := strings.TrimPrefix(u.Path, "/v1/")
+	params := map[string]string{}
+	for k, vs := range u.Query() {
+		if len(vs) > 0 {
+			params[k] = vs[0]
+		}
+	}
+	return json.Marshal(map[string]any{"endpoint": endpoint, "params": params})
+}
+
+// runJob drives one query through the job API: submit, poll to a terminal
+// state, fetch the result. The sample's latency is submit-to-result; its
+// status is the result fetch's (the job's outcome), and its cache label is
+// the result's X-Cache ("job").
+func runJob(client *http.Client, target, q string, pollEvery time.Duration) sample {
+	t0 := time.Now()
+	s := sample{}
+	body, err := specOf(q)
+	if err != nil {
+		return s
+	}
+	resp, err := client.Post(target+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return s
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || derr != nil {
+		s.latency = time.Since(t0)
+		s.status = resp.StatusCode
+		return s
+	}
+	terminal := map[string]bool{"done": true, "failed": true, "cancelled": true}
+	for !terminal[st.State] {
+		time.Sleep(pollEvery)
+		sr, err := client.Get(target + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return s
+		}
+		derr := json.NewDecoder(sr.Body).Decode(&st)
+		sr.Body.Close()
+		if sr.StatusCode != http.StatusOK || derr != nil {
+			s.latency = time.Since(t0)
+			s.status = sr.StatusCode
+			return s
+		}
+	}
+	rr, err := client.Get(target + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		return s
+	}
+	io.Copy(io.Discard, rr.Body) //nolint:errcheck
+	rr.Body.Close()
+	s.latency = time.Since(t0)
+	s.status = rr.StatusCode
+	s.cache = rr.Header.Get("X-Cache")
+	return s
 }
 
 type latencyStats struct {

@@ -1,0 +1,72 @@
+package main
+
+// Smoke tests driving loadgen's real code path against an in-process
+// serve instance, in both synchronous and -async (job API) modes.
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pseudosphere/internal/serve"
+)
+
+func newTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := serve.New(serve.Config{
+		StoreDir:       filepath.Join(dir, "store"),
+		JobDir:         filepath.Join(dir, "jobs"),
+		Workers:        2,
+		Pool:           2,
+		MaxJobs:        2,
+		RequestTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestLoadgenSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("issues real queries")
+	}
+	ts := newTarget(t)
+	code := realMain([]string{"-target", ts.URL, "-requests", "12", "-concurrency", "3", "-seed", "7"})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+}
+
+func TestLoadgenAsync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("issues real queries")
+	}
+	ts := newTarget(t)
+	code := realMain([]string{"-target", ts.URL, "-requests", "8", "-concurrency", "2", "-seed", "7", "-async", "-poll-interval", "5ms"})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+}
+
+func TestLoadgenBadFlags(t *testing.T) {
+	if code := realMain([]string{"-no-such-flag"}); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestSpecOf(t *testing.T) {
+	raw, err := specOf("/v1/connectivity?model=async&n=2&f=1&r=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"endpoint":"connectivity","params":{"f":"1","model":"async","n":"2","r":"1"}}`
+	if string(raw) != want {
+		t.Fatalf("spec %s, want %s", raw, want)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	serve -addr :8080 -store /var/cache/pseudosphere
+//	serve -addr :8080 -store /var/cache/pseudosphere -jobs /var/cache/pseudosphere-jobs
 //
 // Endpoints:
 //
@@ -13,6 +13,11 @@
 //	GET /v1/rounds?model=async&n=2&f=1&r=1
 //	GET /v1/connectivity?model=sync&n=3&k=1&r=2&field=z2
 //	GET /v1/decision?model=async&n=2&f=1&r=1&agree=2&values=0,1
+//	POST /v1/jobs                    {"endpoint":"rounds","params":{"model":"async","n":"4","f":"2","r":"1"}}
+//	GET /v1/jobs/{id}                status + live progress
+//	GET /v1/jobs/{id}/events         server-sent status events
+//	GET /v1/jobs/{id}/result         the payload once done (202 while not)
+//	DELETE /v1/jobs/{id}             cancel
 //	GET /healthz, /metrics, /debug/vars
 //
 // Results are cached at two levels (whole responses by canonical request
@@ -23,10 +28,17 @@
 // deadlines (-timeout) and upfront work budgets (-max-facets) — see the
 // README's Serving section.
 //
+// The -jobs directory enables the async job API: computations too long
+// for a request deadline run in the background, checkpoint their progress
+// (construction shards, homology ranks), persist their result in the
+// store, and — because job records and checkpoints are durable — survive
+// a restart by resuming from the last completed shard. See the README's
+// Jobs section.
+//
 // SIGINT/SIGTERM starts a graceful shutdown: the listener stops accepting,
 // in-flight enumerations drain (up to -drain-timeout, then they are
-// cancelled), the result store flushes, and the process exits 0 on a
-// clean drain.
+// cancelled), running jobs checkpoint and requeue, the result store
+// flushes, and the process exits 0 on a clean drain.
 package main
 
 import (
@@ -35,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,58 +59,88 @@ import (
 )
 
 func main() {
-	os.Exit(realMain())
+	os.Exit(realMain(os.Args[1:], nil))
 }
 
-func realMain() int {
-	addr := flag.String("addr", ":8080", "listen address")
-	storeDir := flag.String("store", "", "result store directory (empty: in-memory caching only)")
-	workers := flag.Int("workers", 0, "construction/reduction goroutines per request (0 = NumCPU)")
-	pool := flag.Int("pool", 0, "max concurrent computes (0 = NumCPU)")
-	queue := flag.Int("queue", 0, "max queued computes beyond the pool (0 = 4x pool, -1 = none)")
-	timeout := flag.Duration("timeout", 60*time.Second, "per-request compute deadline")
-	maxFacets := flag.Int64("max-facets", 0, "admission budget on estimated facet insertions (0 = 8M)")
-	nodeLimit := flag.Int64("node-limit", 0, "decision search node budget (0 = 20M)")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
-	flag.Parse()
+// realMain runs the service; ready (optional, for tests) receives the
+// listener's bound address once the server is accepting.
+func realMain(args []string, ready chan<- net.Addr) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	storeDir := fs.String("store", "", "result store directory (empty: in-memory caching only)")
+	workers := fs.Int("workers", 0, "construction/reduction goroutines per request (0 = NumCPU)")
+	pool := fs.Int("pool", 0, "max concurrent computes (0 = NumCPU)")
+	queue := fs.Int("queue", 0, "max queued computes beyond the pool (0 = 4x pool, -1 = none)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request compute deadline")
+	maxFacets := fs.Int64("max-facets", 0, "admission budget on estimated facet insertions (0 = 8M)")
+	nodeLimit := fs.Int64("node-limit", 0, "decision search node budget (0 = 20M)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
+	jobDir := fs.String("jobs", "", "job directory enabling the async job API (requires -store)")
+	maxJobs := fs.Int("max-jobs", 0, "max concurrently running jobs (0 = 1)")
+	jobQueue := fs.Int("job-queue", 0, "max queued jobs (0 = 64)")
+	jobRetention := fs.Duration("job-retention", 0, "how long terminal jobs stay pollable (0 = 1h)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job run deadline (0 = none)")
+	jobCkptEvery := fs.Int("job-checkpoint-every", 0, "construction shards per checkpoint flush (0 = 8)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
 	tracker := obs.NewTracker()
 	tracker.PublishExpvar("serve.counters", "serve.stages")
 	srv, err := serve.New(serve.Config{
-		StoreDir:       *storeDir,
-		Workers:        *workers,
-		Pool:           *pool,
-		Queue:          *queue,
-		RequestTimeout: *timeout,
-		MaxFacets:      *maxFacets,
-		NodeLimit:      *nodeLimit,
-		Tracker:        tracker,
-		Log:            logger,
+		StoreDir:           *storeDir,
+		Workers:            *workers,
+		Pool:               *pool,
+		Queue:              *queue,
+		RequestTimeout:     *timeout,
+		MaxFacets:          *maxFacets,
+		NodeLimit:          *nodeLimit,
+		JobDir:             *jobDir,
+		MaxJobs:            *maxJobs,
+		JobQueue:           *jobQueue,
+		JobRetention:       *jobRetention,
+		JobTimeout:         *jobTimeout,
+		JobCheckpointEvery: *jobCkptEvery,
+		Tracker:            tracker,
+		Log:                logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		return 1
 	}
 
+	// Install the signal handler before the listener exists: a SIGTERM
+	// arriving the instant the port is bound must start a drain, not kill
+	// the process with jobs mid-checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		srv.Close()
+		return 1
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
 	}()
-	logger.Printf("listening on %s (store=%q)", *addr, *storeDir)
+	logger.Printf("listening on %s (store=%q jobs=%q)", ln.Addr(), *storeDir, *jobDir)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "serve:", err)
+		srv.Close()
 		return 1
 	case <-ctx.Done():
 	}

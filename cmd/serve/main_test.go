@@ -1,0 +1,136 @@
+package main
+
+// End-to-end smoke test of the binary's real code path: realMain with a
+// scratch store and job directory, driven over HTTP, shut down by an
+// actual SIGTERM to this process (safe because realMain installs its
+// signal handler before the listener is up).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a real server")
+	}
+	dir := t.TempDir()
+	ready := make(chan net.Addr, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{
+			"-addr", "127.0.0.1:0",
+			"-store", filepath.Join(dir, "store"),
+			"-jobs", filepath.Join(dir, "jobs"),
+			"-workers", "2", "-pool", "2",
+			"-drain-timeout", "30s",
+		}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr.String()
+	case code := <-exit:
+		t.Fatalf("server exited early with %d", code)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// The job API is live: submit, poll to done, fetch the result.
+	post, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"endpoint":"rounds","params":{"model":"iis","n":"2","r":"1"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(post.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: status %d, id %q", post.StatusCode, st.ID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		sr, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		sr.Body.Close()
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job ended %q", st.State)
+		}
+	}
+	rr, err := http.Get(base + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != 200 {
+		t.Fatalf("result: %d", rr.StatusCode)
+	}
+
+	// SIGTERM drains cleanly: exit code 0.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after graceful SIGTERM", code)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	if code := realMain([]string{"-no-such-flag"}, nil); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	// -jobs without -store is a configuration error, reported at startup.
+	if code := realMain([]string{"-jobs", filepath.Join(t.TempDir(), "jobs"), "-addr", "127.0.0.1:0"}, nil); code != 1 {
+		t.Fatalf("-jobs without -store: exit %d, want 1", code)
+	}
+}
+
+// TestServeAddrInUse pins the startup failure path: a port that cannot be
+// bound exits 1 instead of hanging.
+func TestServeAddrInUse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	code := realMain([]string{"-addr", fmt.Sprint(ln.Addr())}, nil)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

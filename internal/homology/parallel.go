@@ -185,6 +185,27 @@ func (e *Engine) BettiZ2Ctx(ctx context.Context, c *topology.Complex) ([]int, er
 	})
 }
 
+// BettiZ2CtxResume is BettiZ2Ctx with per-dimension rank checkpoints,
+// the homology half of the job subsystem's resume story. Boundary ranks
+// present in known (keyed by dimension d of ∂_d) are trusted and their
+// reductions skipped; each rank the call does compute is reported
+// through emit as soon as its reduction completes. emit may be invoked
+// concurrently (one goroutine per dimension) and is never invoked for a
+// reduction aborted by cancellation, so persisted ranks are always ranks
+// of fully reduced matrices. Either of known and emit may be nil.
+//
+// The caller owns key validity: known must have been recorded for a
+// complex with this CanonicalHash (the job checkpoint log stores the
+// hash alongside each rank and drops mismatches on restore).
+func (e *Engine) BettiZ2CtxResume(ctx context.Context, c *topology.Complex, known map[int]int, emit func(d, rank int)) ([]int, error) {
+	if e.cache == nil {
+		return e.computeBettiResume(ctx, c, known, emit)
+	}
+	return e.cache.do(ctx, c.CanonicalHash(), func() ([]int, error) {
+		return e.computeBettiResume(ctx, c, known, emit)
+	})
+}
+
 // ReducedBettiZ2 mirrors the package-level ReducedBettiZ2 on the engine.
 func (e *Engine) ReducedBettiZ2(c *topology.Complex) []int {
 	betti, _ := e.ReducedBettiZ2Ctx(context.Background(), c)
@@ -260,6 +281,12 @@ func (e *Engine) ConnectivityCtx(ctx context.Context, c *topology.Complex) (int,
 // A cancellable context plants a flag the column reductions probe; on
 // cancellation the partial ranks are discarded and ctx.Err() is returned.
 func (e *Engine) computeBetti(ctx context.Context, c *topology.Complex) ([]int, error) {
+	return e.computeBettiResume(ctx, c, nil, nil)
+}
+
+// computeBettiResume is computeBetti with known-rank skipping and
+// completed-rank emission; see BettiZ2CtxResume for the contract.
+func (e *Engine) computeBettiResume(ctx context.Context, c *topology.Complex, known map[int]int, emit func(d, rank int)) ([]int, error) {
 	cc := NewChainComplex(c)
 	if cc.dim < 0 {
 		return nil, nil
@@ -270,16 +297,27 @@ func (e *Engine) computeBetti(ctx context.Context, c *topology.Complex) ([]int, 
 		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
 		defer stop()
 	}
-	colCtr := obs.FromContext(ctx).Counter("columns")
+	tr := obs.FromContext(ctx)
+	colCtr := tr.Counter("columns")
 	w := e.workers()
 	ranks := make([]int, cc.dim+2) // ∂_0 and ∂_{dim+1} are zero
 	var wg sync.WaitGroup
 	for d := 1; d <= cc.dim; d++ {
+		if r, ok := known[d]; ok {
+			ranks[d] = r
+			tr.Counter("ranks_restored").Add(1)
+			continue
+		}
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
 			ranks[d] = e.rank(cc, d, w, cancelled)
 			colCtr.Add(uint64(cc.Count(d)))
+			// Only a reduction that ran all its columns may be
+			// persisted; if the flag fired, the rank is partial.
+			if emit != nil && (cancelled == nil || !cancelled.Load()) {
+				emit(d, ranks[d])
+			}
 		}(d)
 	}
 	wg.Wait()

@@ -1,0 +1,498 @@
+package jobs_test
+
+// The job-lifecycle conformance suite: table-driven given/when/then
+// scenarios, each executed against a real serve.Server over HTTP — the
+// same wire a client sees, not package internals. Every row is one
+// lifecycle contract of the async job API.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pseudosphere/internal/jobs"
+	"pseudosphere/internal/serve"
+)
+
+// jobService is one scenario's world: a serve.Server with jobs enabled
+// over scratch store and job directories.
+type jobService struct {
+	srv *serve.Server
+	ts  *httptest.Server
+	dir string // parent of store/ and jobs/
+}
+
+func newJobService(t *testing.T, mutate func(*serve.Config)) *jobService {
+	t.Helper()
+	dir := t.TempDir()
+	return openJobService(t, dir, mutate)
+}
+
+// openJobService starts (or restarts: the directories persist) a service
+// over dir.
+func openJobService(t *testing.T, dir string, mutate func(*serve.Config)) *jobService {
+	t.Helper()
+	cfg := serve.Config{
+		StoreDir:       filepath.Join(dir, "store"),
+		JobDir:         filepath.Join(dir, "jobs"),
+		Workers:        2,
+		Pool:           2,
+		Queue:          4,
+		RequestTimeout: 30 * time.Second,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	js := &jobService{srv: s, ts: ts, dir: dir}
+	t.Cleanup(js.close)
+	return js
+}
+
+func (js *jobService) close() {
+	if js.ts != nil {
+		js.ts.Close()
+		js.ts = nil
+	}
+	if js.srv != nil {
+		js.srv.Close()
+		js.srv = nil
+	}
+}
+
+// submit POSTs a job spec and decodes the response.
+func (js *jobService) submit(t *testing.T, body string) (int, jobs.Status) {
+	t.Helper()
+	resp, err := js.ts.Client().Post(js.ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var st jobs.Status
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("submit: invalid JSON %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+// status GETs /v1/jobs/{id}.
+func (js *jobService) status(t *testing.T, id string) (int, jobs.Status) {
+	t.Helper()
+	resp, err := js.ts.Client().Get(js.ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var st jobs.Status
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("status: invalid JSON %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+// pollState polls the job until pred accepts its status (returning it) or
+// the deadline passes.
+func (js *jobService) pollState(t *testing.T, id string, deadline time.Duration, pred func(jobs.Status) bool) jobs.Status {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	var last jobs.Status
+	var lastCode int
+	for time.Now().Before(end) {
+		lastCode, last = js.status(t, id)
+		if lastCode == http.StatusOK && pred(last) {
+			return last
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s: deadline waiting for state (last code %d, state %q, error %q)", id, lastCode, last.State, last.Error)
+	return last
+}
+
+func (js *jobService) result(t *testing.T, id string) (int, map[string]any) {
+	t.Helper()
+	resp, err := js.ts.Client().Get(js.ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var body map[string]any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &body); err != nil {
+			t.Fatalf("result: invalid JSON %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, body
+}
+
+func (js *jobService) cancel(t *testing.T, id string) (int, jobs.Status) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, js.ts.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := js.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var st jobs.Status
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("cancel: invalid JSON %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+// Specs used across scenarios. The "slow" spec (async, n=4, f=4: 2^20
+// input facets) takes tens of seconds to build on one CPU — effectively
+// forever at test timescales, so "running" states are observable — while
+// the "quick" specs finish in well under a second.
+const (
+	quickSpec = `{"endpoint":"rounds","params":{"model":"iis","n":"2","r":"1"}}`
+	slowSpec  = `{"endpoint":"connectivity","params":{"model":"async","n":"4","f":"4","r":"1"}}`
+)
+
+// conformanceCase is one gherkin-style lifecycle scenario.
+type conformanceCase struct {
+	name              string
+	given, when, then string
+	cfg               func(*serve.Config)
+	run               func(t *testing.T, js *jobService)
+}
+
+var conformanceCases = []conformanceCase{
+	{
+		name:  "submit-poll-done",
+		given: "a service with jobs enabled",
+		when:  "a client submits a valid job and polls its status",
+		then:  "the job reaches done, the result endpoint serves the payload, and a synchronous GET of the same query is a warm cache hit",
+		run: func(t *testing.T, js *jobService) {
+			code, st := js.submit(t, quickSpec)
+			if code != http.StatusAccepted {
+				t.Fatalf("submit: status %d", code)
+			}
+			if st.ID == "" || st.State.Terminal() {
+				t.Fatalf("submit: implausible initial status %+v", st)
+			}
+			done := js.pollState(t, st.ID, 30*time.Second, func(s jobs.Status) bool { return s.State == jobs.StateDone })
+			if done.Error != "" || done.FinishedAt == nil {
+				t.Fatalf("done status inconsistent: %+v", done)
+			}
+			rcode, rbody := js.result(t, st.ID)
+			if rcode != http.StatusOK {
+				t.Fatalf("result: status %d (%v)", rcode, rbody)
+			}
+			if rbody["complex"] == nil {
+				t.Fatalf("result has no complex: %v", rbody)
+			}
+			// The job persisted under the synchronous endpoint's cache key.
+			resp, err := js.ts.Client().Get(js.ts.URL + "/v1/rounds?model=iis&n=2&r=1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if got := resp.Header.Get("X-Cache"); got != "hit" {
+				t.Fatalf("sync GET after job: X-Cache = %q, want hit", got)
+			}
+		},
+	},
+	{
+		name:  "duplicate-submit-joins",
+		given: "a job already exists for a canonical query",
+		when:  "a client submits the same computation again, even spelled differently",
+		then:  "the submission joins the existing job: same id, no second job",
+		run: func(t *testing.T, js *jobService) {
+			code1, st1 := js.submit(t, quickSpec)
+			// Same query with the defaulted parameter spelled out.
+			code2, st2 := js.submit(t, `{"endpoint":"rounds","params":{"model":"iis","n":"2","m":"2","r":"1"}}`)
+			if code1 != http.StatusAccepted || code2 != http.StatusAccepted {
+				t.Fatalf("submit statuses %d, %d", code1, code2)
+			}
+			if st1.ID != st2.ID {
+				t.Fatalf("duplicate submit created a new job: %s vs %s", st1.ID, st2.ID)
+			}
+			var m struct {
+				Jobs *struct{ Total int } `json:"jobs"`
+			}
+			resp, err := js.ts.Client().Get(js.ts.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+				t.Fatal(err)
+			}
+			if m.Jobs == nil || m.Jobs.Total != 1 {
+				t.Fatalf("metrics jobs = %+v, want total 1", m.Jobs)
+			}
+		},
+	},
+	{
+		name:  "cancel-while-running",
+		given: "a long job is running",
+		when:  "the client DELETEs it",
+		then:  "the job unwinds to cancelled promptly and its result answers 410 Gone",
+		run: func(t *testing.T, js *jobService) {
+			_, st := js.submit(t, slowSpec)
+			js.pollState(t, st.ID, 30*time.Second, func(s jobs.Status) bool { return s.State == jobs.StateRunning })
+			if code, _ := js.cancel(t, st.ID); code != http.StatusOK {
+				t.Fatalf("cancel: status %d", code)
+			}
+			fin := js.pollState(t, st.ID, 30*time.Second, func(s jobs.Status) bool { return s.State.Terminal() })
+			if fin.State != jobs.StateCancelled {
+				t.Fatalf("state after cancel = %q, want cancelled", fin.State)
+			}
+			if rcode, _ := js.result(t, st.ID); rcode != http.StatusGone {
+				t.Fatalf("result of cancelled job: status %d, want 410", rcode)
+			}
+		},
+	},
+	{
+		name:  "client-timeout-job-continues",
+		given: "a query too slow for the synchronous request deadline",
+		when:  "the synchronous GET times out but the same query is submitted as a job whose event stream the client abandons",
+		then:  "the GET fails with 504 while the job, unbound by the request deadline, still reaches done",
+		run: func(t *testing.T, js *jobService) {
+			sync := "/v1/rounds?model=async&n=4&f=2&r=1&timeout_ms=25"
+			resp, err := js.ts.Client().Get(js.ts.URL + sync)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusGatewayTimeout {
+				t.Fatalf("sync GET: status %d, want 504", resp.StatusCode)
+			}
+			_, st := js.submit(t, `{"endpoint":"rounds","params":{"model":"async","n":"4","f":"2","r":"1"}}`)
+			// Open the event stream and walk away after the first event: an
+			// abandoned follower must not cancel the job.
+			ctx, cancel := context.WithCancel(context.Background())
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, js.ts.URL+"/v1/jobs/"+st.ID+"/events", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eresp, err := js.ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			line, err := bufio.NewReader(eresp.Body).ReadString('\n')
+			if err != nil || !strings.HasPrefix(line, "event: status") {
+				t.Fatalf("first SSE line %q, err %v", line, err)
+			}
+			cancel()
+			eresp.Body.Close()
+			done := js.pollState(t, st.ID, 120*time.Second, func(s jobs.Status) bool { return s.State.Terminal() })
+			if done.State != jobs.StateDone {
+				t.Fatalf("job state = %q (error %q), want done", done.State, done.Error)
+			}
+		},
+	},
+	{
+		name:  "queue-full-429",
+		given: "a service with one job slot and a queue of one, both occupied",
+		when:  "a third distinct job is submitted",
+		then:  "the submission is refused with 429 and Retry-After, and the queued jobs are unaffected",
+		cfg: func(c *serve.Config) {
+			c.MaxJobs = 1
+			c.JobQueue = 1
+		},
+		run: func(t *testing.T, js *jobService) {
+			_, running := js.submit(t, slowSpec)
+			js.pollState(t, running.ID, 30*time.Second, func(s jobs.Status) bool { return s.State == jobs.StateRunning })
+			code, queued := js.submit(t, `{"endpoint":"connectivity","params":{"model":"async","n":"4","f":"3","r":"1"}}`)
+			if code != http.StatusAccepted {
+				t.Fatalf("second submit: status %d", code)
+			}
+			resp, err := js.ts.Client().Post(js.ts.URL+"/v1/jobs", "application/json",
+				strings.NewReader(`{"endpoint":"connectivity","params":{"model":"async","n":"4","f":"1","r":"1"}}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("third submit: status %d, want 429", resp.StatusCode)
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			if scode, s := js.status(t, queued.ID); scode != http.StatusOK || s.State != jobs.StateQueued {
+				t.Fatalf("queued job after rejection: code %d state %q", scode, s.State)
+			}
+		},
+	},
+	{
+		name:  "retention-expiry",
+		given: "a terminal job older than the retention window",
+		when:  "the sweeper runs",
+		then:  "the job and its on-disk record are gone; polling answers 404",
+		cfg: func(c *serve.Config) {
+			c.JobRetention = 50 * time.Millisecond
+		},
+		run: func(t *testing.T, js *jobService) {
+			_, st := js.submit(t, quickSpec)
+			js.pollState(t, st.ID, 30*time.Second, func(s jobs.Status) bool { return s.State == jobs.StateDone })
+			end := time.Now().Add(10 * time.Second)
+			for {
+				code, _ := js.status(t, st.ID)
+				if code == http.StatusNotFound {
+					break
+				}
+				if time.Now().After(end) {
+					t.Fatalf("job still pollable past retention (last code %d)", code)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			if files, _ := filepath.Glob(filepath.Join(js.dir, "jobs", "*.job")); len(files) != 0 {
+				t.Fatalf("job records survived the sweep: %v", files)
+			}
+		},
+	},
+	{
+		name:  "invalid-spec-rejected",
+		given: "a service with jobs enabled",
+		when:  "clients submit malformed, unknown, out-of-range, and over-budget specs",
+		then:  "each is refused with the status the synchronous endpoint would use, and nothing is enqueued",
+		run: func(t *testing.T, js *jobService) {
+			for _, row := range []struct {
+				body string
+				want int
+			}{
+				{``, http.StatusBadRequest},
+				{`{`, http.StatusBadRequest},
+				{`{"endpoint":"nope"}`, http.StatusBadRequest},
+				{`{"endpoint":"rounds","params":{"n":"999"}}`, http.StatusBadRequest},
+				{`{"endpoint":"pseudosphere","params":{"n":"12","values":"0,1,2,3,4,5,6,7,8,9,a,b,c,d,e,f"}}`, http.StatusRequestEntityTooLarge},
+				{fmt.Sprintf(`{"endpoint":"rounds","params":{"n":"2","x":%q}}`, strings.Repeat("y", 2000)), http.StatusBadRequest},
+			} {
+				code, _ := js.submit(t, row.body)
+				if code != row.want {
+					t.Errorf("submit %.60q: status %d, want %d", row.body, code, row.want)
+				}
+			}
+			var m struct {
+				Jobs *struct{ Total int } `json:"jobs"`
+			}
+			resp, err := js.ts.Client().Get(js.ts.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+				t.Fatal(err)
+			}
+			if m.Jobs == nil || m.Jobs.Total != 0 {
+				t.Fatalf("rejected submissions enqueued jobs: %+v", m.Jobs)
+			}
+		},
+	},
+	{
+		name:  "events-stream-to-terminal",
+		given: "a running event stream for a job",
+		when:  "the job finishes",
+		then:  "the stream emits a terminal status event and closes",
+		run: func(t *testing.T, js *jobService) {
+			_, st := js.submit(t, quickSpec)
+			req, err := http.NewRequest(http.MethodGet, js.ts.URL+"/v1/jobs/"+st.ID+"/events", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := js.ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+				t.Fatalf("Content-Type %q", ct)
+			}
+			// The stream must close on its own after the terminal event; read
+			// it all and inspect the last data line.
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events := bytes.Split(bytes.TrimSpace(raw), []byte("\n\n"))
+			if len(events) == 0 {
+				t.Fatalf("no events in %q", raw)
+			}
+			lastData := ""
+			for _, line := range strings.Split(string(events[len(events)-1]), "\n") {
+				if strings.HasPrefix(line, "data: ") {
+					lastData = strings.TrimPrefix(line, "data: ")
+				}
+			}
+			var fin jobs.Status
+			if err := json.Unmarshal([]byte(lastData), &fin); err != nil {
+				t.Fatalf("last event %q: %v", lastData, err)
+			}
+			if !fin.State.Terminal() {
+				t.Fatalf("stream closed on non-terminal state %q", fin.State)
+			}
+		},
+	},
+}
+
+// TestJobConformance runs every lifecycle scenario against a fresh
+// service.
+func TestJobConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance suite builds real complexes")
+	}
+	for _, tc := range conformanceCases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Logf("given %s, when %s, then %s", tc.given, tc.when, tc.then)
+			js := newJobService(t, tc.cfg)
+			tc.run(t, js)
+		})
+	}
+}
+
+// TestJobsDisabled pins the gate: without JobDir the job routes do not
+// exist, and JobDir without StoreDir is a configuration error.
+func TestJobsDisabled(t *testing.T) {
+	dir := t.TempDir()
+	s, err := serve.New(serve.Config{StoreDir: filepath.Join(dir, "store"), Workers: 1, Pool: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(quickSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /v1/jobs without jobs enabled: status %d, want 404", resp.StatusCode)
+	}
+
+	if _, err := serve.New(serve.Config{JobDir: filepath.Join(dir, "jobs"), Workers: 1, Pool: 1}); err == nil {
+		t.Fatal("JobDir without StoreDir did not error")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs")); err == nil {
+		t.Fatal("failed New left a job directory behind")
+	}
+}

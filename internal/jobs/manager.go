@@ -1,0 +1,555 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pseudosphere/internal/obs"
+	"pseudosphere/internal/store"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Typed manager errors; the service maps them to HTTP statuses.
+var (
+	ErrNotFound  = errors.New("jobs: no such job")
+	ErrQueueFull = errors.New("jobs: queue is full")
+	ErrClosed    = errors.New("jobs: manager is shutting down")
+)
+
+// Task is what a Run callback receives: the job's identity and its
+// checkpoint log, already replayed to the last valid record.
+type Task struct {
+	ID   string
+	Key  string
+	Spec Spec
+	Ckpt *CheckpointLog
+}
+
+// Config tunes a Manager. Prepare and Run are the service's hooks: both
+// required.
+type Config struct {
+	// Dir roots the persistent job records and checkpoint logs.
+	Dir string
+	// MaxConcurrent bounds jobs running at once (0 = 1); MaxQueue bounds
+	// jobs waiting behind them (0 = 64). Submissions beyond both get
+	// ErrQueueFull.
+	MaxConcurrent int
+	MaxQueue      int
+	// Retention keeps terminal job records visible for polling before
+	// the sweeper removes them (0 = 1h).
+	Retention time.Duration
+	// Timeout caps one run attempt (0 = none). A timed-out job fails.
+	Timeout time.Duration
+	// Prepare validates a spec and returns its canonical result key —
+	// the dedup identity. Errors reject the submission.
+	Prepare func(spec Spec) (key string, err error)
+	// Run performs the computation and persists its result under
+	// task.Key. A ctx error must be returned as such (wrapped is fine):
+	// it distinguishes cancellation and shutdown from failure.
+	Run func(ctx context.Context, task *Task) error
+	// Log receives operational lines (nil: the standard logger).
+	Log *log.Logger
+}
+
+func (c *Config) fill() error {
+	if c.Dir == "" {
+		return errors.New("jobs: Config.Dir is required")
+	}
+	if c.Prepare == nil || c.Run == nil {
+		return errors.New("jobs: Config.Prepare and Config.Run are required")
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 1
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.Retention <= 0 {
+		c.Retention = time.Hour
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return nil
+}
+
+// record is the persisted job document, one frame per .job file.
+type record struct {
+	ID          string    `json:"id"`
+	Key         string    `json:"key"`
+	Spec        Spec      `json:"spec"`
+	State       State     `json:"state"`
+	Error       string    `json:"error,omitempty"`
+	Attempts    int       `json:"attempts"`
+	Resumed     bool      `json:"resumed,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+}
+
+// Status is the public snapshot of a job, the JSON body of
+// GET /v1/jobs/{id} and each SSE event.
+type Status struct {
+	ID          string            `json:"id"`
+	State       State             `json:"state"`
+	Endpoint    string            `json:"endpoint"`
+	Params      map[string]string `json:"params,omitempty"`
+	Error       string            `json:"error,omitempty"`
+	Attempts    int               `json:"attempts"`
+	Resumed     bool              `json:"resumed,omitempty"`
+	SubmittedAt time.Time         `json:"submitted_at"`
+	StartedAt   *time.Time        `json:"started_at,omitempty"`
+	FinishedAt  *time.Time        `json:"finished_at,omitempty"`
+	Progress    *obs.Progress     `json:"progress,omitempty"`
+}
+
+// job is the in-memory state alongside the persisted record.
+type job struct {
+	rec        record
+	tracker    *obs.Tracker       // non-nil while running
+	cancel     context.CancelFunc // non-nil while running
+	userCancel bool               // DELETE arrived; distinguishes from shutdown
+}
+
+// Manager owns the queue, the state machine, dispatch, persistence, and
+// retention. Create with Open, stop with Close.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*job
+	queue   []string // FIFO of queued job ids
+	running int
+	closing bool
+	changed chan struct{} // closed and replaced on every transition
+
+	sweepStop chan struct{}
+	wg        sync.WaitGroup
+}
+
+// Open loads the job directory and starts the dispatcher and retention
+// sweeper. Jobs persisted as queued or running — the latter means a
+// previous process died mid-run — are requeued in submission order, so a
+// restart resumes interrupted work without client involvement.
+func Open(cfg Config) (*Manager, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	m := &Manager{
+		cfg:       cfg,
+		jobs:      make(map[string]*job),
+		changed:   make(chan struct{}),
+		sweepStop: make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	recs, err := loadRecords(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var requeue []*job
+	for _, rec := range recs {
+		j := &job{rec: rec}
+		m.jobs[rec.ID] = j
+		if !rec.State.Terminal() {
+			requeue = append(requeue, j)
+		}
+	}
+	sort.Slice(requeue, func(a, b int) bool {
+		return requeue[a].rec.SubmittedAt.Before(requeue[b].rec.SubmittedAt)
+	})
+	for _, j := range requeue {
+		if j.rec.State == StateRunning {
+			j.rec.Resumed = true
+		}
+		j.rec.State = StateQueued
+		m.persist(j.rec)
+		m.queue = append(m.queue, j.rec.ID)
+	}
+	m.wg.Add(2)
+	go m.dispatch()
+	go m.sweep()
+	return m, nil
+}
+
+// Close stops dispatching, cancels running jobs (their records revert to
+// queued so the next Open resumes them), and waits for everything to
+// settle. Idempotent is not required: the service calls it once.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return
+	}
+	m.closing = true
+	for _, j := range m.jobs {
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	close(m.sweepStop)
+	m.wg.Wait()
+}
+
+// Submit validates, dedups, and enqueues a job. A submission whose
+// canonical key matches an existing queued, running, or done job joins
+// it (created=false); matching a failed or cancelled job requeues that
+// job for another attempt. Prepare errors pass through verbatim so the
+// service can map them (bad request, over budget) exactly as it does for
+// synchronous queries.
+func (m *Manager) Submit(spec Spec) (Status, bool, error) {
+	key, err := m.cfg.Prepare(spec)
+	if err != nil {
+		return Status{}, false, err
+	}
+	id := IDForKey(key)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closing {
+		return Status{}, false, ErrClosed
+	}
+	if j, ok := m.jobs[id]; ok {
+		switch {
+		case !j.rec.State.Terminal() || j.rec.State == StateDone:
+			return m.statusLocked(j), false, nil
+		default: // failed or cancelled: another attempt
+			j.rec.State = StateQueued
+			j.rec.Error = ""
+			j.rec.FinishedAt = time.Time{}
+			j.userCancel = false
+			m.persist(j.rec)
+			m.queue = append(m.queue, id)
+			m.broadcastLocked()
+			m.cond.Broadcast()
+			return m.statusLocked(j), false, nil
+		}
+	}
+	if len(m.queue) >= m.cfg.MaxQueue {
+		return Status{}, false, fmt.Errorf("%w (%d queued)", ErrQueueFull, len(m.queue))
+	}
+	j := &job{rec: record{
+		ID:          id,
+		Key:         key,
+		Spec:        spec,
+		State:       StateQueued,
+		SubmittedAt: time.Now().UTC(),
+	}}
+	m.jobs[id] = j
+	m.persist(j.rec)
+	m.queue = append(m.queue, id)
+	m.broadcastLocked()
+	m.cond.Broadcast()
+	return m.statusLocked(j), true, nil
+}
+
+// Get returns the job's status snapshot.
+func (m *Manager) Get(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return m.statusLocked(j), nil
+}
+
+// Key returns the job's canonical result key, under which Run persisted
+// (or will persist) the result payload.
+func (m *Manager) Key(id string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return "", ErrNotFound
+	}
+	return j.rec.Key, nil
+}
+
+// Cancel requests cancellation: a queued job goes terminal immediately,
+// a running one is cancelled through its context and goes terminal when
+// the computation unwinds. Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	switch j.rec.State {
+	case StateQueued:
+		for i, qid := range m.queue {
+			if qid == id {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		j.rec.State = StateCancelled
+		j.rec.FinishedAt = time.Now().UTC()
+		m.persist(j.rec)
+		m.broadcastLocked()
+	case StateRunning:
+		j.userCancel = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return m.statusLocked(j), nil
+}
+
+// Watch returns a channel closed at the next state transition of any
+// job; callers re-Watch after each close. SSE streams select on it
+// alongside a progress ticker.
+func (m *Manager) Watch() <-chan struct{} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.changed
+}
+
+// Stats reports queue depth and running count for the metrics endpoint.
+func (m *Manager) Stats() (queued, running, total int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue), m.running, len(m.jobs)
+}
+
+func (m *Manager) statusLocked(j *job) Status {
+	st := Status{
+		ID:          j.rec.ID,
+		State:       j.rec.State,
+		Endpoint:    j.rec.Spec.Endpoint,
+		Params:      j.rec.Spec.Params,
+		Error:       j.rec.Error,
+		Attempts:    j.rec.Attempts,
+		Resumed:     j.rec.Resumed,
+		SubmittedAt: j.rec.SubmittedAt,
+	}
+	if !j.rec.StartedAt.IsZero() {
+		t := j.rec.StartedAt
+		st.StartedAt = &t
+	}
+	if !j.rec.FinishedAt.IsZero() {
+		t := j.rec.FinishedAt
+		st.FinishedAt = &t
+	}
+	if j.tracker != nil {
+		p := j.tracker.Progress()
+		st.Progress = &p
+	}
+	return st
+}
+
+// broadcastLocked wakes every Watch-er; callers hold m.mu.
+func (m *Manager) broadcastLocked() {
+	close(m.changed)
+	m.changed = make(chan struct{})
+}
+
+// dispatch pops queued jobs as slots free up and runs each in its own
+// goroutine.
+func (m *Manager) dispatch() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for !m.closing && (m.running >= m.cfg.MaxConcurrent || len(m.queue) == 0) {
+			m.cond.Wait()
+		}
+		if m.closing {
+			m.mu.Unlock()
+			return
+		}
+		id := m.queue[0]
+		m.queue = m.queue[1:]
+		j := m.jobs[id]
+		if j == nil || j.rec.State != StateQueued {
+			m.mu.Unlock()
+			continue
+		}
+		j.rec.State = StateRunning
+		j.rec.Attempts++
+		j.rec.StartedAt = time.Now().UTC()
+		j.tracker = obs.NewTracker()
+		var ctx context.Context
+		var cancel context.CancelFunc
+		if m.cfg.Timeout > 0 {
+			ctx, cancel = context.WithTimeout(context.Background(), m.cfg.Timeout)
+		} else {
+			ctx, cancel = context.WithCancel(context.Background())
+		}
+		j.cancel = cancel
+		m.running++
+		m.persist(j.rec)
+		m.broadcastLocked()
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go m.runJob(ctx, cancel, j)
+	}
+}
+
+// runJob executes one attempt and applies the terminal (or, on
+// shutdown, requeued) transition.
+func (m *Manager) runJob(ctx context.Context, cancel context.CancelFunc, j *job) {
+	defer m.wg.Done()
+	defer cancel()
+	ctx = obs.WithTracker(ctx, j.tracker)
+	var err error
+	ckpt, ckptErr := OpenCheckpointLog(m.ckptPath(j.rec.ID))
+	if ckptErr != nil {
+		err = ckptErr
+	} else {
+		err = m.cfg.Run(ctx, &Task{ID: j.rec.ID, Key: j.rec.Key, Spec: j.rec.Spec, Ckpt: ckpt})
+		ckpt.Close()
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	j.cancel = nil
+	j.tracker = nil
+	switch {
+	case err == nil:
+		j.rec.State = StateDone
+		j.rec.Error = ""
+		j.rec.FinishedAt = time.Now().UTC()
+		os.Remove(m.ckptPath(j.rec.ID)) // resume data is spent
+	case errors.Is(err, context.Canceled) && m.closing && !j.userCancel:
+		// Shutdown, not a client decision: revert to queued so the next
+		// Open resumes from the checkpoint log.
+		j.rec.State = StateQueued
+	case errors.Is(err, context.Canceled):
+		j.rec.State = StateCancelled
+		j.rec.FinishedAt = time.Now().UTC()
+	case errors.Is(err, context.DeadlineExceeded):
+		j.rec.State = StateFailed
+		j.rec.Error = fmt.Sprintf("timed out after %v", m.cfg.Timeout)
+		j.rec.FinishedAt = time.Now().UTC()
+	default:
+		j.rec.State = StateFailed
+		j.rec.Error = err.Error()
+		j.rec.FinishedAt = time.Now().UTC()
+	}
+	m.persist(j.rec)
+	m.broadcastLocked()
+	m.cond.Broadcast()
+}
+
+// sweep removes terminal records past their retention.
+func (m *Manager) sweep() {
+	defer m.wg.Done()
+	interval := m.cfg.Retention / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.sweepStop:
+			return
+		case now := <-t.C:
+			m.mu.Lock()
+			for id, j := range m.jobs {
+				if j.rec.State.Terminal() && now.Sub(j.rec.FinishedAt) > m.cfg.Retention {
+					delete(m.jobs, id)
+					os.Remove(m.jobPath(id))
+					os.Remove(m.ckptPath(id))
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+func (m *Manager) jobPath(id string) string  { return filepath.Join(m.cfg.Dir, id+".job") }
+func (m *Manager) ckptPath(id string) string { return filepath.Join(m.cfg.Dir, id+".ckpt") }
+
+// persist writes the record as a framed, checksummed file via temp +
+// rename, the same torn-write discipline as the store. Persistence
+// failures are logged, not fatal: the in-memory state machine stays
+// authoritative for this process's lifetime.
+func (m *Manager) persist(rec record) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		m.cfg.Log.Printf("jobs: encode record %s: %v", rec.ID, err)
+		return
+	}
+	path := m.jobPath(rec.ID)
+	tmp, err := os.CreateTemp(m.cfg.Dir, ".tmp-*")
+	if err != nil {
+		m.cfg.Log.Printf("jobs: persist %s: %v", rec.ID, err)
+		return
+	}
+	_, werr := tmp.Write(store.EncodeFrame(payload))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		m.cfg.Log.Printf("jobs: persist %s: %v", rec.ID, errors.Join(werr, cerr))
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		m.cfg.Log.Printf("jobs: persist %s: %v", rec.ID, err)
+	}
+}
+
+// loadRecords scans dir for .job files, skipping corrupt ones (they
+// would have been half-written by a crash; the client can resubmit).
+func loadRecords(dir string) ([]record, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	var out []record
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".job") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		payload, ok := store.DecodeFrame(raw)
+		if !ok {
+			os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.ID == "" {
+			os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package jobs_test
+
+// Manager-level tests with stub Prepare/Run hooks: the lifecycle edges
+// that need precise control of when a run finishes, plus the SIGKILL
+// record semantics the HTTP-level harness cannot produce (a graceful stop
+// reverts records to queued; only a kill leaves one persisted as
+// running).
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pseudosphere/internal/jobs"
+)
+
+// managerWorld is a Manager plus the hooks' shared state.
+type managerWorld struct {
+	dir   string
+	m     *jobs.Manager
+	block chan struct{} // Run waits on this (or ctx) when blocking is on
+}
+
+func openManager(t *testing.T, dir string, blocking bool, mutate func(*jobs.Config)) *managerWorld {
+	t.Helper()
+	w := &managerWorld{dir: dir, block: make(chan struct{})}
+	cfg := jobs.Config{
+		Dir:     dir,
+		Prepare: func(spec jobs.Spec) (string, error) { return "key|" + spec.Endpoint, nil },
+		Run: func(ctx context.Context, task *jobs.Task) error {
+			if !blocking {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-w.block:
+				return nil
+			}
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := jobs.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.m = m
+	t.Cleanup(m.Close)
+	return w
+}
+
+func pollManager(t *testing.T, m *jobs.Manager, id string, pred func(jobs.Status) bool) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var st jobs.Status
+	var err error
+	for time.Now().Before(deadline) {
+		st, err = m.Get(id)
+		if err == nil && pred(st) {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s: deadline (last status %+v, err %v)", id, st, err)
+	return st
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	w := openManager(t, t.TempDir(), false, nil)
+	st, created, err := w.m.Submit(jobs.Spec{Endpoint: "a"})
+	if err != nil || !created {
+		t.Fatalf("submit: created=%v err=%v", created, err)
+	}
+	fin := pollManager(t, w.m, st.ID, func(s jobs.Status) bool { return s.State.Terminal() })
+	if fin.State != jobs.StateDone || fin.Attempts != 1 || fin.FinishedAt == nil {
+		t.Fatalf("final status %+v", fin)
+	}
+	if key, err := w.m.Key(st.ID); err != nil || key != "key|a" {
+		t.Fatalf("key = %q, %v", key, err)
+	}
+	// A done job's record survives for polling; its checkpoint log is gone.
+	if _, err := os.Stat(filepath.Join(w.dir, st.ID+".job")); err != nil {
+		t.Fatalf("job record: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(w.dir, st.ID+".ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint log after done: %v", err)
+	}
+	// Submitting a done job joins it rather than re-running.
+	st2, created, err := w.m.Submit(jobs.Spec{Endpoint: "a"})
+	if err != nil || created || st2.ID != st.ID || st2.State != jobs.StateDone {
+		t.Fatalf("resubmit of done job: %+v created=%v err=%v", st2, created, err)
+	}
+}
+
+func TestManagerCancelQueuedAndRunning(t *testing.T) {
+	w := openManager(t, t.TempDir(), true, nil) // MaxConcurrent defaults to 1
+	first, _, err := w.m.Submit(jobs.Spec{Endpoint: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollManager(t, w.m, first.ID, func(s jobs.Status) bool { return s.State == jobs.StateRunning })
+	second, _, err := w.m.Submit(jobs.Spec{Endpoint: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queued job: cancellation is immediate.
+	st, err := w.m.Cancel(second.ID)
+	if err != nil || st.State != jobs.StateCancelled {
+		t.Fatalf("cancel queued: %+v, %v", st, err)
+	}
+	// Running job: cancellation flows through the context.
+	if _, err := w.m.Cancel(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin := pollManager(t, w.m, first.ID, func(s jobs.Status) bool { return s.State.Terminal() })
+	if fin.State != jobs.StateCancelled {
+		t.Fatalf("cancel running: state %q", fin.State)
+	}
+	// A cancelled job can be resubmitted for another attempt.
+	again, created, err := w.m.Submit(jobs.Spec{Endpoint: "b"})
+	if err != nil || created || again.State != jobs.StateQueued {
+		t.Fatalf("resubmit cancelled: %+v created=%v err=%v", again, created, err)
+	}
+}
+
+// TestManagerKillResume emulates SIGKILL at the record layer: a .job file
+// persisted in state running (which no graceful path leaves behind) must
+// requeue on the next open with the Resumed flag set.
+func TestManagerKillResume(t *testing.T) {
+	dir := t.TempDir()
+	w := openManager(t, dir, true, nil)
+	st, _, err := w.m.Submit(jobs.Spec{Endpoint: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollManager(t, w.m, st.ID, func(s jobs.Status) bool { return s.State == jobs.StateRunning })
+	// Capture the record as a kill would leave it: state running on disk.
+	path := filepath.Join(dir, st.ID+".job")
+	runningRec, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.m.Close() // reverts the record to queued...
+	if err := os.WriteFile(path, runningRec, 0o644); err != nil {
+		t.Fatal(err) // ...so restore the kill image
+	}
+
+	w2 := openManager(t, dir, false, nil)
+	fin := pollManager(t, w2.m, st.ID, func(s jobs.Status) bool { return s.State.Terminal() })
+	if fin.State != jobs.StateDone {
+		t.Fatalf("state %q, want done", fin.State)
+	}
+	if !fin.Resumed {
+		t.Fatal("job found running on disk did not report Resumed")
+	}
+	if fin.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", fin.Attempts)
+	}
+}
+
+func TestManagerCorruptRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef.job"), []byte("not a frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := openManager(t, dir, false, nil)
+	if _, _, total := w.m.Stats(); total != 0 {
+		t.Fatalf("corrupt record loaded: total=%d", total)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "deadbeef.job")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt record not removed: %v", err)
+	}
+}

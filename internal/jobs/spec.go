@@ -1,0 +1,119 @@
+// Package jobs is the persistent asynchronous job subsystem behind the
+// query service's /v1/jobs endpoints. It owns the job lifecycle — a
+// bounded FIFO queue, a per-job state machine (queued → running →
+// done/failed/cancelled), dedup by canonical result key, retention of
+// terminal records — and its durability: every state transition is
+// persisted as a framed, checksummed, atomically renamed record
+// (internal/store framing), and long computations append shard and rank
+// checkpoints to a per-job log so a process killed mid-build resumes
+// from its last completed shard instead of recomputing.
+//
+// The package is deliberately ignorant of what a job computes: the
+// service injects Prepare (validate + canonical key, the dedup and
+// pricing hook) and Run (the computation) callbacks, keeping jobs free
+// of HTTP and engine dependencies.
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/url"
+)
+
+// Spec bounds: generous for every real request, tight enough that a
+// hostile submission cannot make the service hold megabytes per queued
+// job or construct absurd map keys.
+const (
+	maxSpecBytes   = 1 << 16
+	maxEndpointLen = 64
+	maxSpecParams  = 64
+	maxParamKeyLen = 64
+	maxParamValLen = 1024
+)
+
+// Spec is the client-submitted description of an async job: which
+// endpoint's computation to run and its parameters, under the same names
+// the synchronous GET endpoint accepts.
+type Spec struct {
+	Endpoint string            `json:"endpoint"`
+	Params   map[string]string `json:"params,omitempty"`
+}
+
+// SpecError marks a malformed job submission; the service maps it to
+// HTTP 400.
+type SpecError struct{ msg string }
+
+func (e *SpecError) Error() string { return "jobs: bad spec: " + e.msg }
+
+func specErr(format string, args ...any) error {
+	return &SpecError{msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseSpec decodes and bounds-checks a job submission body. Every
+// rejection is a *SpecError; no input panics or yields an out-of-bounds
+// Spec (the fuzz contract).
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if len(data) == 0 {
+		return s, specErr("empty body")
+	}
+	if len(data) > maxSpecBytes {
+		return s, specErr("body of %d bytes exceeds the %d limit", len(data), maxSpecBytes)
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, specErr("invalid JSON: %v", err)
+	}
+	if err := s.validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+func (s Spec) validate() error {
+	if s.Endpoint == "" {
+		return specErr("missing endpoint")
+	}
+	if len(s.Endpoint) > maxEndpointLen {
+		return specErr("endpoint name of %d bytes exceeds the %d limit", len(s.Endpoint), maxEndpointLen)
+	}
+	for _, r := range s.Endpoint {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' && r != '_' {
+			return specErr("endpoint %q has characters outside [a-z0-9_-]", s.Endpoint)
+		}
+	}
+	if len(s.Params) > maxSpecParams {
+		return specErr("%d parameters exceeds the limit of %d", len(s.Params), maxSpecParams)
+	}
+	for k, v := range s.Params {
+		if k == "" {
+			return specErr("empty parameter name")
+		}
+		if len(k) > maxParamKeyLen {
+			return specErr("parameter name of %d bytes exceeds the %d limit", len(k), maxParamKeyLen)
+		}
+		if len(v) > maxParamValLen {
+			return specErr("parameter %s value of %d bytes exceeds the %d limit", k, len(v), maxParamValLen)
+		}
+	}
+	return nil
+}
+
+// Values renders the spec's parameters as url.Values, the shape the
+// service's query parsers consume.
+func (s Spec) Values() url.Values {
+	q := make(url.Values, len(s.Params))
+	for k, v := range s.Params {
+		q.Set(k, v)
+	}
+	return q
+}
+
+// IDForKey derives the job id from the canonical result key: the first
+// 16 hex digits of its SHA-256. Deriving ids from keys is what makes
+// duplicate submissions join the existing job, and a restart re-derive
+// the same id for the same work.
+func IDForKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return fmt.Sprintf("%x", sum[:8])
+}

@@ -196,6 +196,30 @@ func (s *Stage) Elapsed() time.Duration {
 	return time.Since(s.start)
 }
 
+// Progress is a point-in-time view of a tracker: wall-clock elapsed
+// time, the most recent open stage, and every counter value. It is the
+// progress payload the job API serves from GET /v1/jobs/{id} and streams
+// over SSE. (Snapshot, in report.go, is the heavier end-of-run report.)
+type Progress struct {
+	ElapsedMS int64             `json:"elapsed_ms"`
+	Stage     string            `json:"stage,omitempty"`
+	Counters  map[string]uint64 `json:"counters,omitempty"`
+}
+
+// Progress captures the tracker's current state. Safe on a nil receiver
+// (returns the zero Progress), so callers can snapshot a job that has no
+// tracker attached yet.
+func (t *Tracker) Progress() Progress {
+	if t == nil {
+		return Progress{}
+	}
+	return Progress{
+		ElapsedMS: time.Since(t.start).Milliseconds(),
+		Stage:     t.currentStage(),
+		Counters:  t.Counters(),
+	}
+}
+
 // PublishExpvar registers the tracker's counters (and stage timings, in
 // milliseconds) under the given expvar names. Registration is skipped if
 // the name is already taken, so repeated calls — or several trackers in

@@ -33,6 +33,29 @@ func TestNilTrackerIsInert(t *testing.T) {
 	if rep == nil || rep.Tool != "t" {
 		t.Fatalf("nil tracker snapshot: %+v", rep)
 	}
+	if p := tr.Progress(); p.Stage != "" || p.Counters != nil {
+		t.Fatalf("nil tracker progress: %+v", p)
+	}
+}
+
+func TestProgress(t *testing.T) {
+	tr := NewTracker()
+	tr.Counter("facets").Add(41)
+	st := tr.Stage("build")
+	p := tr.Progress()
+	if p.Stage != "build" {
+		t.Fatalf("Progress stage = %q, want build", p.Stage)
+	}
+	if p.Counters["facets"] != 41 {
+		t.Fatalf("Progress counters = %v, want facets=41", p.Counters)
+	}
+	if p.ElapsedMS < 0 {
+		t.Fatalf("Progress elapsed = %d", p.ElapsedMS)
+	}
+	st.End()
+	if p := tr.Progress(); p.Stage != "" {
+		t.Fatalf("stage still open after End: %q", p.Stage)
+	}
 }
 
 func TestCountersConcurrent(t *testing.T) {

@@ -1,0 +1,218 @@
+package roundop
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pseudosphere/internal/obs"
+	"pseudosphere/internal/pc"
+	"pseudosphere/internal/topology"
+)
+
+// Checkpointer persists construction progress at shard boundaries so a
+// killed run can resume instead of recomputing. Shard indices refer to
+// the deterministic job list buildShardJobs derives from the operator's
+// branches, which is identical across runs of the same (operator, input,
+// rounds) triple — a checkpoint written by one process is meaningful to
+// the next.
+//
+// Restore and Flush are called from a single goroutine; implementations
+// need no internal locking against each other.
+type Checkpointer interface {
+	// Restore reports which of totalShards shards a prior run completed
+	// (done[i] == true) together with their merged partial result. A
+	// fresh run returns (nil, nil, nil). An implementation that finds
+	// its records corrupt or mismatched (e.g. written for a different
+	// shard count) should discard them and report a fresh start rather
+	// than error.
+	Restore(totalShards int) (done []bool, partial *pc.Result, err error)
+
+	// Flush durably records that the shards in done completed, with
+	// delta holding exactly their merged facets (a face-closed
+	// complex). Flush is called before the delta is merged into the
+	// final result, so a flush error fails the run without having
+	// served unpersisted state as progress.
+	Flush(done []int, delta *pc.Result) error
+}
+
+// RoundsParallelCkpt is RoundsParallelCtx with shard-boundary
+// checkpointing: completed shards are batched and handed to ck.Flush
+// every flushEvery shards, and a previous run's shards recovered by
+// ck.Restore are skipped entirely. On cancellation the pending batch is
+// flushed before ctx.Err() is returned, so a SIGTERM mid-build loses at
+// most the shards still in flight, never completed ones. A nil ck
+// degrades to RoundsParallelCtx.
+//
+// The result is bit-for-bit the complex RoundsParallelCtx builds —
+// resumed or not — because shards partition the facet product and the
+// complex is a set: merge order cannot change it.
+func RoundsParallelCkpt(ctx context.Context, op Operator, input topology.Simplex, r, workers, flushEvery int, ck Checkpointer) (*pc.Result, error) {
+	if ck == nil {
+		return RoundsParallelCtx(ctx, op, input, r, workers)
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("roundop: negative round count %d", r)
+	}
+	if r == 0 {
+		return Rounds(op, input, 0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if flushEvery < 1 {
+		flushEvery = 1
+	}
+	cur := pc.InputViews(input)
+	branches, err := op.Branches(cur)
+	if err != nil {
+		return nil, err
+	}
+	jobs, _ := buildShardJobs(branches, r)
+	done, partial, err := ck.Restore(len(jobs))
+	if err != nil {
+		return nil, fmt.Errorf("roundop: restore checkpoint: %w", err)
+	}
+	if done != nil && len(done) != len(jobs) {
+		return nil, fmt.Errorf("roundop: checkpoint restored %d shards, job list has %d", len(done), len(jobs))
+	}
+	if done == nil {
+		done = make([]bool, len(jobs))
+	}
+	res := pc.NewResult()
+	if partial != nil {
+		res.Merge(partial)
+	}
+	restored := 0
+	for _, d := range done {
+		if d {
+			restored++
+		}
+	}
+	tr := obs.FromContext(ctx)
+	tr.SetGoal("shards_done", uint64(len(jobs)))
+	tr.Counter("shards_done").Add(uint64(restored))
+	tr.Counter("shards_restored").Add(uint64(restored))
+	if err := runJobsCkpt(ctx, res, jobs, done, r, workers, flushEvery, ck); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runJobsCkpt drains the not-yet-done jobs with a worker pool. Each
+// shard is enumerated into its own private result and handed to a
+// collector (this goroutine), which batches shard results and flushes
+// them through ck every flushEvery shards — Flush first, then merge into
+// res, so the checkpoint never claims shards the result lacks and the
+// result never includes shards the checkpoint could lose. On
+// cancellation or enumeration error the pending batch is still flushed.
+func runJobsCkpt(ctx context.Context, res *pc.Result, jobs []shardJob, done []bool, r, workers, flushEvery int, ck Checkpointer) error {
+	remaining := make([]int, 0, len(jobs))
+	for i, d := range done {
+		if !d {
+			remaining = append(remaining, i)
+		}
+	}
+	if len(remaining) == 0 {
+		return nil
+	}
+	if workers > len(remaining) {
+		workers = len(remaining)
+	}
+	var cancelled atomic.Bool
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
+		defer stop()
+	}
+	tr := obs.FromContext(ctx)
+	facetCtr := tr.Counter("facets")
+	shardCtr := tr.Counter("shards_done")
+	flushCtr := tr.Counter("ckpt_flushes")
+
+	type shardOut struct {
+		idx   int
+		local *pc.Result
+	}
+	out := make(chan shardOut, workers)
+	var cursor int64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if cancelled.Load() || firstErr.Load() != nil {
+					return
+				}
+				j := atomic.AddInt64(&cursor, 1) - 1
+				if j >= int64(len(remaining)) {
+					return
+				}
+				idx := remaining[j]
+				job := jobs[idx]
+				local := pc.NewResult()
+				if err := runShard(local, job, r); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				facetCtr.Add(uint64(job.hi - job.lo))
+				out <- shardOut{idx: idx, local: local}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	pending := pc.NewResult()
+	var pendingIdx []int
+	flush := func() error {
+		if len(pendingIdx) == 0 {
+			return nil
+		}
+		if err := ck.Flush(pendingIdx, pending); err != nil {
+			return fmt.Errorf("roundop: flush checkpoint: %w", err)
+		}
+		flushCtr.Add(1)
+		res.Merge(pending)
+		pending = pc.NewResult()
+		pendingIdx = nil
+		return nil
+	}
+	var flushErr error
+	for so := range out {
+		if flushErr != nil {
+			continue // drain so workers sending on out never block
+		}
+		pending.Merge(so.local)
+		pendingIdx = append(pendingIdx, so.idx)
+		shardCtr.Add(1)
+		if len(pendingIdx) >= flushEvery {
+			if flushErr = flush(); flushErr != nil {
+				errStop := flushErr
+				firstErr.CompareAndSwap(nil, &errStop)
+			}
+		}
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	// Flush whatever completed since the last batch — on the happy path,
+	// after an enumeration error, and critically after cancellation:
+	// this is what makes SIGTERM lose in-flight shards only.
+	if err := flush(); err != nil {
+		return err
+	}
+	if errp := firstErr.Load(); errp != nil {
+		return *errp
+	}
+	if cancelled.Load() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

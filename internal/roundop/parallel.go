@@ -79,12 +79,29 @@ func RoundsParallelCtx(ctx context.Context, op Operator, input topology.Simplex,
 	if err != nil {
 		return nil, err
 	}
+	jobs, grand := buildShardJobs(branches, r)
+	if r == 1 && grand < parallelThreshold && !cancellable {
+		return Rounds(op, input, r)
+	}
+	res := pc.NewResult()
+	if err := runJobs(ctx, res, jobs, r, workers); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// buildShardJobs shards every branch's facet product into index-range
+// jobs. Branches arrive in the operator's deterministic order and shards
+// are cut at fixed strides, so the job list — and therefore any shard
+// index — is stable across runs of the same (operator, input, rounds)
+// triple. The checkpoint layer depends on that stability: a resumed run
+// rebuilds this list and trusts recorded shard indices to mean the same
+// facet ranges.
+func buildShardJobs(branches []Branch, r int) (jobs []shardJob, grand int64) {
 	chunk := int64(oneRoundChunk)
 	if r > 1 {
 		chunk = deepChunk
 	}
-	var jobs []shardJob
-	grand := int64(0)
 	for _, b := range branches {
 		if len(b.Opts) == 0 {
 			continue
@@ -99,14 +116,26 @@ func RoundsParallelCtx(ctx context.Context, op Operator, input topology.Simplex,
 			jobs = append(jobs, shardJob{opts: b.Opts, next: b.Next, lo: lo, hi: hi})
 		}
 	}
-	if r == 1 && grand < parallelThreshold && !cancellable {
-		return Rounds(op, input, r)
+	return jobs, grand
+}
+
+// runShard enumerates one shard's facet range into local.
+func runShard(local *pc.Result, job shardJob, r int) error {
+	n := len(job.opts)
+	idx := make([]int, n)
+	verts := make([]topology.Vertex, n)
+	facet := make([]*views.View, n)
+	pc.DecodeIndex(idx, job.opts, job.lo)
+	for li := job.lo; li < job.hi; li++ {
+		pc.FillFacet(facet, verts, job.opts, idx)
+		if r == 1 {
+			local.AddFacetVertices(verts, facet)
+		} else if err := appendRounds(local, job.next, facet, r-1); err != nil {
+			return err
+		}
+		pc.Advance(idx, job.opts)
 	}
-	res := pc.NewResult()
-	if err := runJobs(ctx, res, jobs, r, workers); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return nil
 }
 
 // runJobs drains jobs with a pool of workers, each accumulating into a
@@ -146,20 +175,9 @@ func runJobs(ctx context.Context, res *pc.Result, jobs []shardJob, r int, worker
 					return
 				}
 				job := jobs[j]
-				n := len(job.opts)
-				idx := make([]int, n)
-				verts := make([]topology.Vertex, n)
-				facet := make([]*views.View, n)
-				pc.DecodeIndex(idx, job.opts, job.lo)
-				for li := job.lo; li < job.hi; li++ {
-					pc.FillFacet(facet, verts, job.opts, idx)
-					if r == 1 {
-						local.AddFacetVertices(verts, facet)
-					} else if err := appendRounds(local, job.next, facet, r-1); err != nil {
-						firstErr.CompareAndSwap(nil, &err)
-						return
-					}
-					pc.Advance(idx, job.opts)
+				if err := runShard(local, job, r); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
 				}
 				facetCtr.Add(uint64(job.hi - job.lo))
 			}

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 
 	"pseudosphere/internal/core"
 	"pseudosphere/internal/homology"
+	"pseudosphere/internal/jobs"
 	"pseudosphere/internal/pc"
 	"pseudosphere/internal/roundop"
 	"pseudosphere/internal/task"
@@ -36,58 +38,125 @@ func statsOf(c *topology.Complex) complexStats {
 	}
 }
 
-// handlePseudosphere serves psi(S^n; V) (Definition 3) statistics with
+// endpointQuery is one computation the service can run two ways: behind
+// the synchronous GET spine or inside an async job. It carries the
+// request's canonical cache key, an upfront price check (used by job
+// submission to refuse oversized work before queueing it), and the
+// compute closure. compute's ck is non-nil only for job runs, where it
+// threads the construction-shard and homology-rank checkpoint seams.
+type endpointQuery struct {
+	key     string
+	price   func() error
+	compute func(ctx context.Context, ck *jobs.CheckpointLog) (any, error)
+}
+
+// buildQuery validates q for the named endpoint and returns its query
+// plan. It is the single parse-and-plan path shared by the GET handlers
+// and the job subsystem's Prepare/Run hooks.
+func (s *Server) buildQuery(endpoint string, q url.Values) (endpointQuery, error) {
+	switch endpoint {
+	case "pseudosphere":
+		return s.buildPseudosphere(q)
+	case "rounds":
+		return s.buildRounds(q)
+	case "connectivity":
+		return s.buildConnectivity(q)
+	case "decision":
+		return s.buildDecision(q)
+	default:
+		return endpointQuery{}, badRequest("unknown endpoint %q (want pseudosphere, rounds, connectivity, or decision)", endpoint)
+	}
+}
+
+// handleEndpoint adapts an endpoint's query plan to the synchronous GET
+// spine.
+func (s *Server) handleEndpoint(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		bq, err := s.buildQuery(endpoint, r.URL.Query())
+		if err != nil {
+			s.fail(w, r, endpoint, err)
+			return
+		}
+		s.serveQuery(w, r, endpoint, bq.key, func(ctx context.Context) (any, error) {
+			return bq.compute(ctx, nil)
+		})
+	}
+}
+
+// bettiZ2 computes GF(2) Betti numbers, threading the per-dimension rank
+// checkpoint seam when a job checkpoint log is attached: ranks recorded
+// by a killed attempt are trusted and skipped, newly reduced ranks are
+// persisted as soon as they complete.
+func (s *Server) bettiZ2(ctx context.Context, c *topology.Complex, ck *jobs.CheckpointLog) ([]int, error) {
+	if ck == nil {
+		return s.engine.BettiZ2Ctx(ctx, c)
+	}
+	hash := c.CanonicalHash()
+	return s.engine.BettiZ2CtxResume(ctx, c, ck.KnownRanks(hash), func(d, rank int) {
+		if err := ck.PutRank(hash, d, rank); err != nil {
+			s.cfg.Log.Printf("serve: rank checkpoint: %v", err)
+		}
+	})
+}
+
+// buildPseudosphere serves psi(S^n; V) (Definition 3) statistics with
 // optional Betti numbers and connectivity.
-func (s *Server) handlePseudosphere(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+func (s *Server) buildPseudosphere(q url.Values) (endpointQuery, error) {
 	n, err := qInt(q, "n", 2)
 	if err != nil {
-		s.fail(w, r, "pseudosphere", err)
-		return
+		return endpointQuery{}, err
 	}
 	values, err := qValues(q)
 	if err == nil && (n < 0 || n > maxN) {
 		err = badRequest("n=%d out of range [0, %d]", n, maxN)
 	}
-	withBetti := q.Get("betti") != "false"
 	if err != nil {
-		s.fail(w, r, "pseudosphere", err)
-		return
+		return endpointQuery{}, err
 	}
-	key := fmt.Sprintf("n=%d|values=%s|betti=%v", n, canonicalValues(values), withBetti)
-	s.serveQuery(w, r, "pseudosphere", key, func(ctx context.Context) (any, error) {
+	withBetti := q.Get("betti") != "false"
+	price := func() error {
 		facets := int64(1)
 		for i := 0; i <= n; i++ {
 			facets = satMulServe(facets, int64(len(values)))
 		}
 		if facets > s.cfg.MaxFacets {
-			return nil, overBudget("psi(S^%d; %d values) has %d facets, budget %d", n, len(values), facets, s.cfg.MaxFacets)
+			return overBudget("psi(S^%d; %d values) has %d facets, budget %d", n, len(values), facets, s.cfg.MaxFacets)
 		}
-		ps, err := core.Uniform(core.ProcessSimplex(n), values)
-		if err != nil {
-			return nil, badRequestError{msg: err.Error()}
-		}
-		out := struct {
-			N            int          `json:"n"`
-			Values       []string     `json:"values"`
-			Complex      complexStats `json:"complex"`
-			BettiZ2      []int        `json:"betti_z2,omitempty"`
-			Connectivity *int         `json:"connectivity,omitempty"`
-		}{N: n, Values: values, Complex: statsOf(ps)}
-		if withBetti {
-			betti, err := s.engine.BettiZ2Ctx(ctx, ps)
-			if err != nil {
+		return nil
+	}
+	return endpointQuery{
+		key:   fmt.Sprintf("n=%d|values=%s|betti=%v", n, canonicalValues(values), withBetti),
+		price: price,
+		compute: func(ctx context.Context, ck *jobs.CheckpointLog) (any, error) {
+			if err := price(); err != nil {
 				return nil, err
 			}
-			out.BettiZ2 = betti
-			conn, err := s.engine.ConnectivityCtx(ctx, ps)
+			ps, err := core.Uniform(core.ProcessSimplex(n), values)
 			if err != nil {
-				return nil, err
+				return nil, badRequestError{msg: err.Error()}
 			}
-			out.Connectivity = &conn
-		}
-		return out, nil
-	})
+			out := struct {
+				N            int          `json:"n"`
+				Values       []string     `json:"values"`
+				Complex      complexStats `json:"complex"`
+				BettiZ2      []int        `json:"betti_z2,omitempty"`
+				Connectivity *int         `json:"connectivity,omitempty"`
+			}{N: n, Values: values, Complex: statsOf(ps)}
+			if withBetti {
+				betti, err := s.bettiZ2(ctx, ps, ck)
+				if err != nil {
+					return nil, err
+				}
+				out.BettiZ2 = betti
+				conn, err := s.engine.ConnectivityCtx(ctx, ps)
+				if err != nil {
+					return nil, err
+				}
+				out.Connectivity = &conn
+			}
+			return out, nil
+		},
+	}, nil
 }
 
 // admitConstruction prices the construction with the roundop seam and
@@ -103,41 +172,56 @@ func (s *Server) admitConstruction(mp modelParams) (int64, error) {
 	return est, nil
 }
 
-// handleRounds serves the r-round complex R^r(S^m) of a model.
-func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request) {
-	mp, err := parseModelParams(r.URL.Query())
-	if err != nil {
-		s.fail(w, r, "rounds", err)
-		return
-	}
-	s.serveQuery(w, r, "rounds", mp.key(), func(ctx context.Context) (any, error) {
-		est, err := s.admitConstruction(mp)
-		if err != nil {
-			return nil, err
-		}
-		res, err := mp.build(ctx, inputSimplex(mp.m), s.cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		return struct {
-			Model           string       `json:"model"`
-			Params          modelJSON    `json:"params"`
-			EstimatedFacets int64        `json:"estimated_facet_insertions"`
-			Complex         complexStats `json:"complex"`
-			Views           int          `json:"views"`
-		}{mp.model, mp.json(), est, statsOf(res.Complex), len(res.Views)}, nil
-	})
-}
-
-// handleConnectivity serves Betti numbers and connectivity of a model's
-// round complex over GF(2) (cancellable, cached by canonical hash via the
-// engine), GF(p), or Q.
-func (s *Server) handleConnectivity(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+// buildRounds serves the r-round complex R^r(S^m) of a model.
+func (s *Server) buildRounds(q url.Values) (endpointQuery, error) {
 	mp, err := parseModelParams(q)
 	if err != nil {
-		s.fail(w, r, "connectivity", err)
-		return
+		return endpointQuery{}, err
+	}
+	return endpointQuery{
+		key:   mp.key(),
+		price: func() error { _, err := s.admitConstruction(mp); return err },
+		compute: func(ctx context.Context, ck *jobs.CheckpointLog) (any, error) {
+			est, err := s.admitConstruction(mp)
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.buildModel(ctx, mp, inputSimplex(mp.m), ck)
+			if err != nil {
+				return nil, err
+			}
+			return struct {
+				Model           string       `json:"model"`
+				Params          modelJSON    `json:"params"`
+				EstimatedFacets int64        `json:"estimated_facet_insertions"`
+				Complex         complexStats `json:"complex"`
+				Views           int          `json:"views"`
+			}{mp.model, mp.json(), est, statsOf(res.Complex), len(res.Views)}, nil
+		},
+	}, nil
+}
+
+// buildModel constructs the r-round complex, checkpointing at roundop
+// shard boundaries when a job checkpoint log is attached.
+func (s *Server) buildModel(ctx context.Context, mp modelParams, input topology.Simplex, ck *jobs.CheckpointLog) (*pc.Result, error) {
+	if ck == nil {
+		return mp.build(ctx, input, s.cfg.Workers)
+	}
+	// The model wrappers validated params at parse time; the only extra
+	// semantic they add on this path is asyncmodel's short-input guard.
+	if mp.model == "async" && len(input)-1 < mp.n-mp.f {
+		return pc.NewResult(), nil
+	}
+	return roundop.RoundsParallelCkpt(ctx, mp.operator(), input, mp.r, s.cfg.Workers, s.cfg.JobCheckpointEvery, ck)
+}
+
+// buildConnectivity serves Betti numbers and connectivity of a model's
+// round complex over GF(2) (cancellable, cached by canonical hash via the
+// engine), GF(p), or Q.
+func (s *Server) buildConnectivity(q url.Values) (endpointQuery, error) {
+	mp, err := parseModelParams(q)
+	if err != nil {
+		return endpointQuery{}, err
 	}
 	field := q.Get("field")
 	if field == "" {
@@ -148,61 +232,61 @@ func (s *Server) handleConnectivity(w http.ResponseWriter, r *http.Request) {
 	case "z2", "q":
 	case "gfp":
 		if p, err = qInt(q, "p", 3); err != nil {
-			s.fail(w, r, "connectivity", err)
-			return
+			return endpointQuery{}, err
 		}
 		// Validate the modulus here, not in homology.BettiGFp after a full
 		// construction: a bad p must cost a 400, not a built complex — and
 		// BettiGFp's Fermat inverses are silently wrong for composite p.
 		if p > maxGFpP {
-			s.fail(w, r, "connectivity", badRequest("p=%d exceeds the limit of %d", p, maxGFpP))
-			return
+			return endpointQuery{}, badRequest("p=%d exceeds the limit of %d", p, maxGFpP)
 		}
 		if !isPrime(p) {
-			s.fail(w, r, "connectivity", badRequest("p=%d is not a prime", p))
-			return
+			return endpointQuery{}, badRequest("p=%d is not a prime", p)
 		}
 	default:
-		s.fail(w, r, "connectivity", badRequest("unknown field %q (want z2, gfp, or q)", field))
-		return
+		return endpointQuery{}, badRequest("unknown field %q (want z2, gfp, or q)", field)
 	}
 	key := mp.key() + "|field=" + field
 	if field == "gfp" {
 		key += "|p=" + strconv.Itoa(p)
 	}
-	s.serveQuery(w, r, "connectivity", key, func(ctx context.Context) (any, error) {
-		if _, err := s.admitConstruction(mp); err != nil {
-			return nil, err
-		}
-		res, err := mp.build(ctx, inputSimplex(mp.m), s.cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		c := res.Complex
-		var betti []int
-		switch field {
-		case "z2":
-			if betti, err = s.engine.BettiZ2Ctx(ctx, c); err != nil {
+	return endpointQuery{
+		key:   key,
+		price: func() error { _, err := s.admitConstruction(mp); return err },
+		compute: func(ctx context.Context, ck *jobs.CheckpointLog) (any, error) {
+			if _, err := s.admitConstruction(mp); err != nil {
 				return nil, err
 			}
-		case "gfp":
-			if betti, err = homology.BettiGFp(c, int64(p)); err != nil {
-				return nil, badRequestError{msg: err.Error()}
+			res, err := s.buildModel(ctx, mp, inputSimplex(mp.m), ck)
+			if err != nil {
+				return nil, err
 			}
-		case "q":
-			betti = homology.BettiQ(c)
-		}
-		conn := connectivityOf(c, betti)
-		return struct {
-			Model        string       `json:"model"`
-			Params       modelJSON    `json:"params"`
-			Field        string       `json:"field"`
-			P            int          `json:"p,omitempty"`
-			Complex      complexStats `json:"complex"`
-			Betti        []int        `json:"betti"`
-			Connectivity int          `json:"connectivity"`
-		}{mp.model, mp.json(), field, p, statsOf(c), betti, conn}, nil
-	})
+			c := res.Complex
+			var betti []int
+			switch field {
+			case "z2":
+				if betti, err = s.bettiZ2(ctx, c, ck); err != nil {
+					return nil, err
+				}
+			case "gfp":
+				if betti, err = homology.BettiGFp(c, int64(p)); err != nil {
+					return nil, badRequestError{msg: err.Error()}
+				}
+			case "q":
+				betti = homology.BettiQ(c)
+			}
+			conn := connectivityOf(c, betti)
+			return struct {
+				Model        string       `json:"model"`
+				Params       modelJSON    `json:"params"`
+				Field        string       `json:"field"`
+				P            int          `json:"p,omitempty"`
+				Complex      complexStats `json:"complex"`
+				Betti        []int        `json:"betti"`
+				Connectivity int          `json:"connectivity"`
+			}{mp.model, mp.json(), field, p, statsOf(c), betti, conn}, nil
+		},
+	}, nil
 }
 
 // connectivityOf derives the connectivity verdict from non-reduced Betti
@@ -226,43 +310,41 @@ func connectivityOf(c *topology.Complex, betti []int) int {
 	return k
 }
 
-// handleDecision runs the exact k-set-agreement solvability search
+// buildDecision runs the exact k-set-agreement solvability search
 // (Theorems 5/7 shape: is the task solvable on this protocol complex?)
-// over the model's round complex built from every input assignment.
-func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+// over the model's round complex built from every input assignment. The
+// search itself is not checkpointed — its state is a backtracking
+// frontier, not a partition of independent shards — so a resumed
+// decision job recomputes (the per-complex Betti ranks it needs still
+// restore from the engine's persistent cache).
+func (s *Server) buildDecision(q url.Values) (endpointQuery, error) {
 	mp, err := parseModelParams(q)
 	if err != nil {
-		s.fail(w, r, "decision", err)
-		return
+		return endpointQuery{}, err
 	}
 	agree, err := qInt(q, "agree", 1)
 	if err == nil && agree < 1 {
 		err = badRequest("agree=%d must be positive", agree)
 	}
 	if err != nil {
-		s.fail(w, r, "decision", err)
-		return
+		return endpointQuery{}, err
 	}
 	values, err := qValues(q)
 	if err != nil {
-		s.fail(w, r, "decision", err)
-		return
+		return endpointQuery{}, err
 	}
 	limit := s.cfg.NodeLimit
 	if raw := q.Get("limit"); raw != "" {
 		v, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil || v <= 0 {
-			s.fail(w, r, "decision", badRequest("limit=%q is not a positive integer", raw))
-			return
+			return endpointQuery{}, badRequest("limit=%q is not a positive integer", raw)
 		}
 		if v < limit {
 			limit = v
 		}
 	}
 	includeMap := q.Get("include_map") == "true"
-	key := fmt.Sprintf("%s|agree=%d|values=%s|limit=%d|map=%v", mp.key(), agree, canonicalValues(values), limit, includeMap)
-	s.serveQuery(w, r, "decision", key, func(ctx context.Context) (any, error) {
+	price := func() error {
 		// There are |values|^(n+1) input facets, so the enumeration itself
 		// is the memory hazard: price the count arithmetically (saturating)
 		// and refuse before materializing a single simplex.
@@ -271,53 +353,63 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 			numInputs = satMulServe(numInputs, int64(len(values)))
 		}
 		if numInputs > s.cfg.MaxFacets {
-			return nil, overBudget("%d^%d = %d input facets exceeds budget %d", len(values), mp.n+1, numInputs, s.cfg.MaxFacets)
+			return overBudget("%d^%d = %d input facets exceeds budget %d", len(values), mp.n+1, numInputs, s.cfg.MaxFacets)
 		}
 		// The protocol complex unions R^r over every input facet; facets
 		// differ only in labels, so one uniform representative prices them
 		// all without enumerating the rest.
 		perInput, err := roundop.EstimateFacets(mp.operator(), uniformInputFacet(mp.n, values[0]), mp.r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if total := satMulServe(perInput, numInputs); total > s.cfg.MaxFacets {
-			return nil, overBudget("%d inputs x %d facet insertions exceeds budget %d", numInputs, perInput, s.cfg.MaxFacets)
+			return overBudget("%d inputs x %d facet insertions exceeds budget %d", numInputs, perInput, s.cfg.MaxFacets)
 		}
-		inputs := core.InputFacets(mp.n, values)
-		res := pc.NewResult()
-		for _, input := range inputs {
-			sub, err := mp.build(ctx, input, s.cfg.Workers)
+		return nil
+	}
+	return endpointQuery{
+		key:   fmt.Sprintf("%s|agree=%d|values=%s|limit=%d|map=%v", mp.key(), agree, canonicalValues(values), limit, includeMap),
+		price: price,
+		compute: func(ctx context.Context, _ *jobs.CheckpointLog) (any, error) {
+			if err := price(); err != nil {
+				return nil, err
+			}
+			inputs := core.InputFacets(mp.n, values)
+			res := pc.NewResult()
+			for _, input := range inputs {
+				sub, err := mp.build(ctx, input, s.cfg.Workers)
+				if err != nil {
+					return nil, err
+				}
+				res.Merge(sub)
+			}
+			ann := task.AnnotateViews(res.Complex, res.Views)
+			bits := task.SearchSpaceLog2(ann)
+			if bits > s.cfg.MaxSearchBits {
+				return nil, overBudget("decision search space is 2^%.0f candidates, budget 2^%.0f", bits, s.cfg.MaxSearchBits)
+			}
+			dm, found, err := task.FindDecisionParallelCtx(ctx, ann, agree, limit, s.cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
-			res.Merge(sub)
-		}
-		ann := task.AnnotateViews(res.Complex, res.Views)
-		bits := task.SearchSpaceLog2(ann)
-		if bits > s.cfg.MaxSearchBits {
-			return nil, overBudget("decision search space is 2^%.0f candidates, budget 2^%.0f", bits, s.cfg.MaxSearchBits)
-		}
-		dm, found, err := task.FindDecisionParallelCtx(ctx, ann, agree, limit, s.cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		out := struct {
-			Model         string        `json:"model"`
-			Params        modelJSON     `json:"params"`
-			Agree         int           `json:"agree"`
-			Values        []string      `json:"values"`
-			Complex       complexStats  `json:"complex"`
-			SearchBits    float64       `json:"search_space_bits"`
-			NodeLimit     int64         `json:"node_limit"`
-			Solvable      bool          `json:"solvable"`
-			DecisionMap   []decisionRow `json:"decision_map,omitempty"`
-			DecisionVerts int           `json:"decision_vertices,omitempty"`
-		}{mp.model, mp.json(), agree, values, statsOf(res.Complex), bits, limit, found, nil, len(dm)}
-		if includeMap && found {
-			out.DecisionMap = decisionRows(dm)
-		}
-		return out, nil
-	})
+			out := struct {
+				Model         string        `json:"model"`
+				Params        modelJSON     `json:"params"`
+				Agree         int           `json:"agree"`
+				Values        []string      `json:"values"`
+				Complex       complexStats  `json:"complex"`
+				SearchBits    float64       `json:"search_space_bits"`
+				NodeLimit     int64         `json:"node_limit"`
+				Solvable      bool          `json:"solvable"`
+				DecisionMap   []decisionRow `json:"decision_map,omitempty"`
+				DecisionVerts int           `json:"decision_vertices,omitempty"`
+			}{mp.model, mp.json(), agree, values, statsOf(res.Complex), bits, limit, found, nil, len(dm)}
+			if includeMap && found {
+				out.DecisionMap = decisionRows(dm)
+			}
+			return out, nil
+		},
+	}, nil
 }
 
 // decisionRow is one vertex assignment of a decision map.

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"pseudosphere/internal/homology"
+	"pseudosphere/internal/jobs"
 	"pseudosphere/internal/obs"
 	"pseudosphere/internal/store"
 	"pseudosphere/internal/task"
@@ -61,6 +62,23 @@ type Config struct {
 	MaxSearchBits float64
 	// NodeLimit is the decision search node budget (0 = 20 million).
 	NodeLimit int64
+	// JobDir enables the async job API (/v1/jobs), rooting its persistent
+	// records and checkpoint logs; it requires StoreDir, because job
+	// results are persisted in the response store. Empty disables jobs.
+	JobDir string
+	// MaxJobs bounds concurrently running jobs (0 = 1); JobQueue bounds
+	// jobs waiting behind them (0 = 64).
+	MaxJobs  int
+	JobQueue int
+	// JobRetention keeps terminal job records pollable before they are
+	// swept (0 = 1h). JobTimeout caps one run attempt (0 = none — jobs
+	// exist precisely to outlive the request deadline).
+	JobRetention time.Duration
+	JobTimeout   time.Duration
+	// JobCheckpointEvery is how many completed construction shards are
+	// batched per checkpoint flush (0 = 8). Smaller loses less work to a
+	// kill; larger amortizes the fsync better.
+	JobCheckpointEvery int
 	// Tracker receives request/latency/cache metrics (nil: a fresh one).
 	Tracker *obs.Tracker
 	// Log receives operational lines (nil: the standard logger).
@@ -92,6 +110,9 @@ func (c *Config) fill() {
 	if c.NodeLimit <= 0 {
 		c.NodeLimit = 20_000_000
 	}
+	if c.JobCheckpointEvery <= 0 {
+		c.JobCheckpointEvery = 8
+	}
 	if c.Tracker == nil {
 		c.Tracker = obs.NewTracker()
 	}
@@ -111,6 +132,7 @@ type Server struct {
 	flights *flightGroup
 	adm     *admission
 	mux     *http.ServeMux
+	jobs    *jobs.Manager // nil when the job API is disabled
 
 	// hardStop cancels every in-flight compute when a drain deadline is
 	// exceeded; see Abort.
@@ -163,11 +185,48 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
-	s.mux.HandleFunc("GET /v1/pseudosphere", s.handlePseudosphere)
-	s.mux.HandleFunc("GET /v1/rounds", s.handleRounds)
-	s.mux.HandleFunc("GET /v1/connectivity", s.handleConnectivity)
-	s.mux.HandleFunc("GET /v1/decision", s.handleDecision)
+	s.mux.HandleFunc("GET /v1/pseudosphere", s.handleEndpoint("pseudosphere"))
+	s.mux.HandleFunc("GET /v1/rounds", s.handleEndpoint("rounds"))
+	s.mux.HandleFunc("GET /v1/connectivity", s.handleEndpoint("connectivity"))
+	s.mux.HandleFunc("GET /v1/decision", s.handleEndpoint("decision"))
+
+	// The job manager starts last: its dispatcher may immediately resume
+	// persisted jobs, which need the engine and store above.
+	if cfg.JobDir != "" {
+		if s.store == nil {
+			s.shutdownOnError()
+			return nil, errors.New("serve: JobDir requires StoreDir (job results persist in the response store)")
+		}
+		m, err := jobs.Open(jobs.Config{
+			Dir:           cfg.JobDir,
+			MaxConcurrent: cfg.MaxJobs,
+			MaxQueue:      cfg.JobQueue,
+			Retention:     cfg.JobRetention,
+			Timeout:       cfg.JobTimeout,
+			Prepare:       s.jobPrepare,
+			Run:           s.jobRun,
+			Log:           cfg.Log,
+		})
+		if err != nil {
+			s.shutdownOnError()
+			return nil, err
+		}
+		s.jobs = m
+		s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+		s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+		s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	}
 	return s, nil
+}
+
+// shutdownOnError unwinds the partially built server when New fails after
+// starting its background work.
+func (s *Server) shutdownOnError() {
+	close(s.putq)
+	s.putDone.Wait()
+	s.abort()
 }
 
 // Handler returns the service's HTTP handler.
@@ -188,6 +247,12 @@ func (s *Server) Abort() { s.abort() }
 // receive requests afterwards. Close is idempotent.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		// The job manager goes first: it cancels running jobs (which flush
+		// their checkpoints and revert to queued for the next start) and its
+		// Run hook writes the store directly, so nothing below depends on it.
+		if s.jobs != nil {
+			s.jobs.Close()
+		}
 		s.putMu.Lock()
 		s.putClosed = true
 		s.putMu.Unlock()
@@ -417,13 +482,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Backing   uint64 `json:"backing_hits,omitempty"`
 		Entries   int    `json:"entries"`
 	}
+	type jobStats struct {
+		Queued  int `json:"queued"`
+		Running int `json:"running"`
+		Total   int `json:"total"`
+	}
 	out := struct {
 		Counters   map[string]uint64 `json:"counters"`
 		Store      *cacheStats       `json:"store,omitempty"`
 		BettiCache cacheStats        `json:"betti_cache"`
 		Running    int64             `json:"computes_running"`
 		Queued     int64             `json:"computes_queued"`
+		Jobs       *jobStats         `json:"jobs,omitempty"`
 	}{Counters: s.tracker.Counters()}
+	if s.jobs != nil {
+		q, r, t := s.jobs.Stats()
+		out.Jobs = &jobStats{Queued: q, Running: r, Total: t}
+	}
 	if s.store != nil {
 		h, m, p, e := s.store.Stats()
 		out.Store = &cacheStats{Hits: h, Misses: m, Puts: p, Evictions: e, Entries: s.store.Len()}

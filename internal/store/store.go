@@ -130,6 +130,49 @@ func (s *Store) evict(path string) {
 	os.Remove(path)
 }
 
+// EncodeFrame frames a payload with the store's magic header, its length,
+// and its SHA-256 checksum — the same self-validating record format the
+// store writes to disk. Exported for append-only logs (the job subsystem's
+// checkpoint files) that want the store's corruption guarantees without
+// its key-addressed layout: concatenated EncodeFrame records are decoded
+// back with NextFrame, and any torn or corrupted record reads as
+// ok=false, never as wrong bytes.
+func EncodeFrame(payload []byte) []byte {
+	return encodeFrame(payload)
+}
+
+// DecodeFrame validates a single framed record (as produced by
+// EncodeFrame) and returns its payload; ok=false on any corruption. The
+// returned payload aliases raw.
+func DecodeFrame(raw []byte) (payload []byte, ok bool) {
+	return decodeFrame(raw)
+}
+
+// NextFrame decodes the first framed record at the front of raw and
+// returns its payload together with the remaining bytes. A short,
+// torn, or corrupted leading record reports ok=false — callers scanning
+// an append-only log stop (and typically truncate) at the first bad
+// record, keeping the valid prefix. The returned payload aliases raw.
+func NextFrame(raw []byte) (payload, rest []byte, ok bool) {
+	if len(raw) < headerSize {
+		return nil, nil, false
+	}
+	if [8]byte(raw[:8]) != magic {
+		return nil, nil, false
+	}
+	n := binary.LittleEndian.Uint64(raw[8:16])
+	if n > maxPayload || n > uint64(len(raw)-headerSize) {
+		return nil, nil, false
+	}
+	end := headerSize + int(n)
+	payload = raw[headerSize:end]
+	sum := sha256.Sum256(payload)
+	if sum != [sha256.Size]byte(raw[16:16+sha256.Size]) {
+		return nil, nil, false
+	}
+	return payload, raw[end:], true
+}
+
 // encodeFrame frames a payload with the magic header, its length, and its
 // SHA-256 checksum.
 func encodeFrame(payload []byte) []byte {

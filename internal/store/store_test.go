@@ -117,6 +117,87 @@ func TestCorruptionEvictsAndRecomputes(t *testing.T) {
 	}
 }
 
+// TestNextFrameScansLog checks the append-log contract: concatenated
+// EncodeFrame records decode back in order, and a torn tail (or any
+// corruption at the scan head) stops the scan with ok=false rather than
+// yielding wrong bytes.
+func TestNextFrameScansLog(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("first record"),
+		{},
+		[]byte("third, after an empty one"),
+	}
+	var log []byte
+	for _, p := range payloads {
+		log = append(log, EncodeFrame(p)...)
+	}
+	rest := log
+	for i, want := range payloads {
+		payload, r, ok := NextFrame(rest)
+		if !ok {
+			t.Fatalf("record %d: NextFrame ok=false", i)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("record %d: payload %q, want %q", i, payload, want)
+		}
+		rest = r
+	}
+	if len(rest) != 0 {
+		t.Fatalf("leftover bytes after full scan: %d", len(rest))
+	}
+	if _, _, ok := NextFrame(rest); ok {
+		t.Fatal("NextFrame on empty rest reported ok")
+	}
+
+	// A torn final record: the first two still decode, the scan stops at
+	// the damage.
+	torn := log[:len(log)-3]
+	p0, rest, ok := NextFrame(torn)
+	if !ok || !bytes.Equal(p0, payloads[0]) {
+		t.Fatalf("torn log: first record %q, %v", p0, ok)
+	}
+	_, rest, ok = NextFrame(rest)
+	if !ok {
+		t.Fatal("torn log: second record should survive")
+	}
+	if _, _, ok := NextFrame(rest); ok {
+		t.Fatal("torn log: damaged third record decoded")
+	}
+
+	// DecodeFrame round-trips a single record.
+	if p, ok := DecodeFrame(EncodeFrame([]byte("solo"))); !ok || string(p) != "solo" {
+		t.Fatalf("DecodeFrame round-trip = %q, %v", p, ok)
+	}
+}
+
+// TestNextFrameCorruption mirrors the store's mutilation table against
+// the sequential scanner: every damage mode at the scan head must read
+// as ok=false.
+func TestNextFrameCorruption(t *testing.T) {
+	base := EncodeFrame([]byte("precious correct bytes"))
+	cases := []struct {
+		name string
+		f    func([]byte) []byte
+	}{
+		{"truncated-header", func(raw []byte) []byte { return raw[:headerSize/2] }},
+		{"truncated-payload", func(raw []byte) []byte { return raw[:len(raw)-3] }},
+		{"garbage", func([]byte) []byte { return []byte("not a frame at all") }},
+		{"bad-magic", func(raw []byte) []byte { raw[0] ^= 0xff; return raw }},
+		{"bit-flip-payload", func(raw []byte) []byte { raw[len(raw)-1] ^= 0x01; return raw }},
+		{"length-lies", func(raw []byte) []byte { raw[8] ^= 0x01; return raw }},
+		{"length-huge", func(raw []byte) []byte { raw[15] = 0xff; return raw }},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := tc.f(append([]byte(nil), base...))
+			if p, _, ok := NextFrame(raw); ok {
+				t.Fatalf("corrupt frame decoded as %q", p)
+			}
+		})
+	}
+}
+
 func TestStats(t *testing.T) {
 	s := mustOpen(t)
 	s.Get("a")
