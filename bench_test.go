@@ -272,6 +272,27 @@ func BenchmarkE12Sperner(b *testing.B) {
 	}
 }
 
+// BenchmarkE19BuildReduceA1n3f3 is the E19 reduction canary gated by
+// .github/bench_baseline.json: one A^1 n=3 f=3 round complex (6560
+// simplexes) built and GF(2)-reduced end to end by a fresh
+// coreduction-enabled engine, so a regression in either the unified
+// round operator or the Morse preprocessing moves it.
+func BenchmarkE19BuildReduceA1n3f3(b *testing.B) {
+	input := inputSimplex(3)
+	p := asyncmodel.Params{N: 3, F: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := asyncmodel.OneRound(input, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := homology.NewEngine(1, nil)
+		if betti := e.BettiZ2(res.Complex); betti[0] != 1 {
+			b.Fatal("unexpected homology")
+		}
+	}
+}
+
 // --- ablation benches for engine design choices ---
 
 // BenchmarkAblationHomologySparseZ2 measures the production engine (sparse

@@ -15,6 +15,13 @@
 // pre-interning string-keyed builder could not construct in reasonable
 // time.
 //
+// -reduce (default true) follows every constructed complex with two
+// GF(2) reduction stages — "<case> reduce plain" (coreduction disabled)
+// and "<case> reduce morse" (the default engine) — so the report carries
+// the before/after numbers for the Morse preprocessing pass alongside
+// the construction envelope; the collapse counters (morse_removed,
+// morse_critical) land in the report's counter section.
+//
 // Each case runs as one obs stage; -report serializes the stages (name,
 // wall millis, size/facet/count metadata) and the facet/schedule counters
 // as an obs.Report. SIGINT abandons the remaining cases at the next shard
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"pseudosphere/internal/asyncmodel"
+	"pseudosphere/internal/homology"
 	"pseudosphere/internal/iis"
 	"pseudosphere/internal/obs"
 	"pseudosphere/internal/pc"
@@ -63,6 +71,7 @@ func main() {
 func realMain() int {
 	workers := flag.Int("workers", 0, "constructor worker goroutines (0 = NumCPU, 1 = serial)")
 	deep := flag.Bool("deep", false, "include the large n=4 asynchronous instances")
+	reduce := flag.Bool("reduce", true, "time GF(2) reduction (plain vs morse) after each construction")
 	reportPath := flag.String("report", "", "write the measurements as a JSON run report to this file")
 	jsonOut := flag.String("json", "", "alias for -report")
 	progress := flag.Bool("progress", false, "print periodic progress lines to stderr")
@@ -96,7 +105,7 @@ func realMain() int {
 		fmt.Fprintf(os.Stderr, "benchconstruct: debug server at http://%s/debug/vars\n", ds.Addr)
 	}
 
-	err := run(ctx, os.Stdout, w, *deep)
+	err := run(ctx, os.Stdout, w, *deep, *reduce)
 	if out != "" {
 		rep := tracker.Snapshot("benchconstruct")
 		rep.Workers = w
@@ -118,7 +127,7 @@ func realMain() int {
 	return 0
 }
 
-func run(ctx context.Context, w io.Writer, workers int, deep bool) error {
+func run(ctx context.Context, w io.Writer, workers int, deep bool, reduce bool) error {
 	tracker := obs.FromContext(ctx)
 	// record times one case as an obs stage, attaching the measured sizes
 	// as stage metadata — the -report serialization is the report plumbing,
@@ -145,11 +154,47 @@ func run(ctx context.Context, w io.Writer, workers int, deep bool) error {
 		stage.End()
 		return nil
 	}
+	// built carries the most recently constructed complex from a case's
+	// closure to the reduction stages that follow it.
+	var built *topology.Complex
 	sized := func(res *pc.Result, err error) (int, int, int, error) {
 		if err != nil {
 			return 0, 0, 0, err
 		}
+		built = res.Complex
 		return res.Complex.Size(), len(res.Complex.Facets()), 0, nil
+	}
+	// reduceCase times the GF(2) Betti computation over the just-built
+	// complex twice — coreduction off, then on (the engine default) — as
+	// two stages riding the same case name; fresh uncached engines so
+	// every run really reduces.
+	reduceCase := func(name string) error {
+		c := built
+		built = nil
+		if !reduce || c == nil {
+			return nil
+		}
+		for _, mode := range []struct {
+			label   string
+			noMorse bool
+		}{{"plain", true}, {"morse", false}} {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			e := homology.NewEngine(workers, nil)
+			e.DisableMorse = mode.noMorse
+			sname := name + " reduce " + mode.label
+			stage := tracker.Stage(sname)
+			start := time.Now()
+			betti, err := e.BettiZ2Ctx(ctx, c)
+			elapsed := time.Since(start)
+			stage.End()
+			if err != nil {
+				return fmt.Errorf("%s: %w", sname, err)
+			}
+			fmt.Fprintf(w, "%-40s %12v  betti=%v\n", sname, elapsed, betti)
+		}
+		return nil
 	}
 
 	asyncCases := []struct{ n, f, r int }{
@@ -163,10 +208,14 @@ func run(ctx context.Context, w io.Writer, workers int, deep bool) error {
 	}
 	for _, c := range asyncCases {
 		c := c
-		err := record(fmt.Sprintf("A^%d n=%d f=%d", c.r, c.n, c.f), func() (int, int, int, error) {
+		name := fmt.Sprintf("A^%d n=%d f=%d", c.r, c.n, c.f)
+		err := record(name, func() (int, int, int, error) {
 			return sized(asyncmodel.RoundsParallelCtx(ctx, labeled(c.n), asyncmodel.Params{N: c.n, F: c.f}, c.r, workers))
 		})
 		if err != nil {
+			return err
+		}
+		if err := reduceCase(name); err != nil {
 			return err
 		}
 	}
@@ -191,6 +240,7 @@ func run(ctx context.Context, w io.Writer, workers int, deep bool) error {
 		}},
 		{"IIS^1 n=3", func() (int, int, int, error) {
 			res := iis.OneRound(labeled(3))
+			built = res.Complex
 			return res.Complex.Size(), len(res.Complex.Facets()), 0, nil
 		}},
 	}
@@ -200,6 +250,7 @@ func run(ctx context.Context, w io.Writer, workers int, deep bool) error {
 			f    func() (int, int, int, error)
 		}{"IIS^1 n=4", func() (int, int, int, error) {
 			res := iis.OneRound(labeled(4))
+			built = res.Complex
 			return res.Complex.Size(), len(res.Complex.Facets()), 0, nil
 		}})
 	}
@@ -221,6 +272,9 @@ func run(ctx context.Context, w io.Writer, workers int, deep bool) error {
 	)
 	for _, c := range cases {
 		if err := record(c.name, c.f); err != nil {
+			return err
+		}
+		if err := reduceCase(c.name); err != nil {
 			return err
 		}
 	}

@@ -81,6 +81,7 @@ func realMain(args []string, ready chan<- net.Addr) int {
 	jobRetention := fs.Duration("job-retention", 0, "how long terminal jobs stay pollable (0 = 1h)")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job run deadline (0 = none)")
 	jobCkptEvery := fs.Int("job-checkpoint-every", 0, "construction shards per checkpoint flush (0 = 8)")
+	noMorse := fs.Bool("no-morse", false, "disable the homology engines' coreduction preprocessing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -102,6 +103,7 @@ func realMain(args []string, ready chan<- net.Addr) int {
 		JobRetention:       *jobRetention,
 		JobTimeout:         *jobTimeout,
 		JobCheckpointEvery: *jobCkptEvery,
+		DisableMorse:       *noMorse,
 		Tracker:            tracker,
 		Log:                logger,
 	})

@@ -126,6 +126,22 @@ func (c *Cache) do(ctx context.Context, key string, compute func() ([]int, error
 	return betti, err
 }
 
+// Peek returns the cached Betti numbers for key if they are resident in
+// memory: no compute, no waiting on an in-flight computation, no backing
+// consultation. The dimension-capped reduction uses it to answer capped
+// queries by prefix of an already-known full vector. The returned slice
+// is owned by the caller; a hit counts toward the hit counter.
+func (c *Cache) Peek(key string) ([]int, bool) {
+	c.mu.RLock()
+	betti, ok := c.betti[key]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	c.hits.Add(1)
+	return copyBetti(betti), true
+}
+
 // SetBacking installs (or clears, with nil) the second cache level. Set
 // it before sharing the cache; installing a backing does not retroactively
 // consult it for keys already cached in memory.

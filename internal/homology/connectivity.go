@@ -23,13 +23,8 @@ func IsKConnected(c *topology.Complex, k int) bool {
 	if k == -1 {
 		return true
 	}
-	betti := ReducedBettiZ2(c)
-	for d := 0; d <= k && d < len(betti); d++ {
-		if betti[d] != 0 {
-			return false
-		}
-	}
-	return true
+	betti := BettiZ2UpTo(c, k)
+	return reducedVanishUpTo(betti, k)
 }
 
 // Connectivity returns the largest k such that the complex is

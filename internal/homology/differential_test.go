@@ -16,7 +16,9 @@ import (
 
 	"pseudosphere/internal/asyncmodel"
 	"pseudosphere/internal/core"
+	"pseudosphere/internal/custommodel"
 	"pseudosphere/internal/homology"
+	"pseudosphere/internal/iis"
 	"pseudosphere/internal/semisync"
 	"pseudosphere/internal/syncmodel"
 	"pseudosphere/internal/topology"
@@ -83,6 +85,20 @@ func diffInstances(t *testing.T) map[string]*topology.Complex {
 		}
 		out["semisync M^1 n=2 k=1"] = res.Complex
 	}
+	{
+		res, err := iis.Rounds(diffInput(2), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["iis IIS^1 n=2"] = res.Complex
+	}
+	{
+		res, err := custommodel.Rounds(diffInput(2), custommodel.Params{PerRound: 1}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["custom n=2 k=1 r=2"] = res.Complex
+	}
 
 	// Derived subcomplexes of the kind the Mayer–Vietoris experiments
 	// query: unions, intersections, skeleta, links.
@@ -109,6 +125,14 @@ func diffEngines() map[string]*homology.Engine {
 		e := homology.NewEngine(3, homology.NewCache())
 		e.Force = force
 		out[force+"/w3/cached"] = e
+	}
+	// Morse-off twins of each variant: the suite pins the coreduction
+	// path (default-on above) against the unreduced path hash-for-hash.
+	for name, e := range out {
+		off := homology.NewEngine(e.Workers, nil)
+		off.Force = e.Force
+		off.DisableMorse = true
+		out[name+"/nomorse"] = off
 	}
 	return out
 }
@@ -142,6 +166,43 @@ func TestDifferentialEngineVsSerial(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestDifferentialMorseFieldEngines diffs the coreduction-backed GF(p)
+// and rational engines against their unreduced references on every
+// instance: the Morse pass claims exactness over arbitrary coefficients,
+// so it must be invisible in all three fields, not just GF(2).
+func TestDifferentialMorseFieldEngines(t *testing.T) {
+	for iname, c := range diffInstances(t) {
+		for _, p := range []int64{2, 3} {
+			want, err := homology.BettiGFp(c, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := homology.BettiGFpMorse(c, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameInts(got, want) {
+				t.Fatalf("%s: BettiGFpMorse(p=%d) = %v, want %v", iname, p, got, want)
+			}
+		}
+		if got, want := homology.BettiQMorse(c), homology.BettiQ(c); !sameInts(got, want) {
+			t.Fatalf("%s: BettiQMorse = %v, want %v", iname, got, want)
+		}
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestDifferentialRandomComplexes runs a seeded randomized-complex

@@ -13,13 +13,16 @@ func engineVariants() map[string]*Engine {
 	for _, workers := range []int{1, 2, 4} {
 		for _, force := range []string{"", "sparse", "bitset"} {
 			for _, cached := range []bool{false, true} {
-				var cache *Cache
-				if cached {
-					cache = NewCache()
+				for _, noMorse := range []bool{false, true} {
+					var cache *Cache
+					if cached {
+						cache = NewCache()
+					}
+					e := NewEngine(workers, cache)
+					e.Force = force
+					e.DisableMorse = noMorse
+					out[fmt.Sprintf("w%d/%s/cache=%v/nomorse=%v", workers, force, cached, noMorse)] = e
 				}
-				e := NewEngine(workers, cache)
-				e.Force = force
-				out[fmt.Sprintf("w%d/%s/cache=%v", workers, force, cached)] = e
 			}
 		}
 	}
@@ -111,6 +114,14 @@ func TestEngineCacheConcurrentHammer(t *testing.T) {
 				}
 				if got := e.Connectivity(complexes[ci]); got != conns[ci] {
 					errs <- fmt.Errorf("goroutine %d: connectivity = %d, want %d", g, got, conns[ci])
+					return
+				}
+				// Capped queries share the same cache (decorated keys plus
+				// the full-vector Peek fast path) — hammer them too.
+				cap := i % 2
+				top := min(cap, complexes[ci].Dim())
+				if got := e.BettiZ2UpTo(complexes[ci], cap); !equalInts(got, wants[ci][:top+1]) {
+					errs <- fmt.Errorf("goroutine %d: capped betti = %v, want %v", g, got, wants[ci][:top+1])
 					return
 				}
 			}

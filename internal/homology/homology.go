@@ -82,6 +82,29 @@ func BettiZ2(c *topology.Complex) []int {
 	return betti
 }
 
+// BettiZ2UpTo is BettiZ2 capped at maxDim: the serial reference for the
+// dimension-capped reduction. It returns Betti numbers for dimensions
+// 0..min(maxDim, dim) only, reducing only ∂_1..∂_{maxDim+1} — a
+// k-connectivity question about a high-dimensional complex never touches
+// the top-dimensional boundary matrices that dominate reduction cost.
+func BettiZ2UpTo(c *topology.Complex, maxDim int) []int {
+	cc := NewChainComplex(c)
+	if cc.dim < 0 || maxDim < 0 {
+		return nil
+	}
+	top := min(maxDim, cc.dim)
+	hi := min(top+1, cc.dim)
+	ranks := make([]int, cc.dim+2)
+	for d := 1; d <= hi; d++ {
+		ranks[d] = cc.boundaryZ2(d).rank()
+	}
+	betti := make([]int, top+1)
+	for d := 0; d <= top; d++ {
+		betti[d] = cc.Count(d) - ranks[d] - ranks[d+1]
+	}
+	return betti
+}
+
 // ReducedBettiZ2 returns the reduced Betti numbers over GF(2): identical to
 // BettiZ2 except that dimension 0 is decremented by one (the complex is
 // 0-connected iff the reduced b0 is zero). Calling this on an empty complex

@@ -1,0 +1,370 @@
+package homology
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pseudosphere/internal/obs"
+	"pseudosphere/internal/topology"
+)
+
+// Coreduction (discrete-Morse) preprocessing for the homology engines.
+//
+// Protocol complexes are overwhelmingly acyclic in the small: almost every
+// cell sits in a collapsible cone over its neighborhood, and only a thin
+// "critical" core carries homology. Algebraic reduction cost is
+// superlinear in matrix size, so eliminating the acyclic bulk *before*
+// building boundary matrices is worth far more than any constant-factor
+// tuning of the reduction itself.
+//
+// The pass is the Mrozek–Batko coreduction algorithm, run bottom-up on
+// the interned incidence structure:
+//
+//  1. Union-find over vertex entries joined by edge entries counts the
+//     connected components; b0 is read off here and never touches a
+//     matrix.
+//  2. One seed vertex per component is removed, switching the complex to
+//     its reduced homology (removing a vertex from a connected complex
+//     leaves an S-complex computing reduced Betti numbers; b0 is restored
+//     from the component count afterwards).
+//  3. Coreduction pairs are eliminated until none remain: whenever a cell
+//     b has exactly one still-alive codimension-1 face a, both a and b
+//     are removed. Because the incidence coefficient of a in ∂b is ±1
+//     (simplicial boundaries are unit-coefficient) and a is the *only*
+//     alive cell of ∂b, the usual elimination correction term
+//     λ·(∂b restricted) vanishes identically — removal is pure deletion,
+//     with zero fill-in and no coefficient changes, exact over GF(2),
+//     GF(p), and Q alike. Inductively the restricted boundary stays the
+//     projection of the original boundary onto the alive set, and ∂∘∂ = 0
+//     is preserved, so the survivors form an S-complex with
+//     H̃_*(survivors) = H̃_*(original).
+//
+// The surviving ("critical") cells feed the existing rank engines through
+// restricted boundary matrices; for pseudospheres and protocol complexes
+// these are typically an order of magnitude smaller than the full
+// boundary matrices, and in low dimensions usually empty.
+type coreduced struct {
+	dim        int       // dimension of the original complex
+	components int       // connected components (b0 of the original)
+	alive      []bool    // per entry: survived the pass
+	faces      [][]int32 // per entry: codim-1 face entries, vertex-drop order
+	aliveByDim [][]int32 // per dimension: surviving entries, ascending entry index
+	col        []int32   // per entry: column index within its dimension's alive list (-1 if dead)
+	removed    []int     // per dimension: cells eliminated (pairs + seed vertices)
+}
+
+// coreduceProbe is how many queue pops (or setup entries) are processed
+// between cancellation probes.
+const coreduceProbe = 4096
+
+// coreduce runs the pass over c. It is deterministic: entries are seeded
+// and paired in a fixed order, so critical-cell counts are stable across
+// runs and worker settings. A non-nil cancelled flag aborts the pass; ok
+// is then false and the returned value must be discarded.
+func coreduce(c *topology.Complex, cancelled *atomic.Bool) (cr *coreduced, ok bool) {
+	dim := c.Dim()
+	n := c.EntryCount()
+	cr = &coreduced{
+		dim:        dim,
+		alive:      make([]bool, n),
+		faces:      make([][]int32, n),
+		col:        make([]int32, n),
+		aliveByDim: make([][]int32, dim+1),
+		removed:    make([]int, dim+1),
+	}
+	if dim < 0 {
+		return cr, true
+	}
+	fv := c.FVector()
+	entryDim := make([]int8, n)
+
+	// Face lists, carved out of one exactly-sized backing array.
+	total := 0
+	for d := 1; d <= dim; d++ {
+		total += fv[d] * (d + 1)
+	}
+	flat := make([]int32, 0, total)
+	for ei := 0; ei < n; ei++ {
+		if cancelled != nil && ei%coreduceProbe == 0 && cancelled.Load() {
+			return nil, false
+		}
+		entryDim[ei] = int8(c.EntryDim(int32(ei)))
+		start := len(flat)
+		flat = c.EntryFaces(int32(ei), flat)
+		cr.faces[ei] = flat[start:len(flat):len(flat)]
+		cr.alive[ei] = true
+	}
+
+	// Coboundary lists (CSR over the same incidence), and per-entry count
+	// of still-alive faces.
+	cofCnt := make([]int32, n)
+	for _, fs := range cr.faces {
+		for _, f := range fs {
+			cofCnt[f]++
+		}
+	}
+	cofOff := make([]int32, n+1)
+	for ei := 0; ei < n; ei++ {
+		cofOff[ei+1] = cofOff[ei] + cofCnt[ei]
+	}
+	cofFlat := make([]int32, total)
+	fill := make([]int32, n)
+	copy(fill, cofOff[:n])
+	for ei, fs := range cr.faces {
+		for _, f := range fs {
+			cofFlat[fill[f]] = int32(ei)
+			fill[f]++
+		}
+	}
+	cofaces := func(ei int32) []int32 { return cofFlat[cofOff[ei]:cofOff[ei+1]] }
+	bdCnt := make([]int32, n)
+	for ei := range bdCnt {
+		bdCnt[ei] = int32(len(cr.faces[ei]))
+	}
+
+	// Components via union-find over vertex entries joined by edges.
+	parent := make([]int32, n)
+	for ei := range parent {
+		parent[ei] = int32(ei)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for ei := 0; ei < n; ei++ {
+		if entryDim[ei] == 1 {
+			fs := cr.faces[ei]
+			a, b := find(fs[0]), find(fs[1])
+			if a != b {
+				parent[a] = b
+			}
+		}
+	}
+
+	// Removal with coface bookkeeping; cells whose alive-boundary count
+	// drops to exactly one become pairing candidates. The candidate queue
+	// is FIFO: breadth-first pairing spreads the cascade evenly across the
+	// complex, which on product-like complexes (pseudospheres are joins of
+	// discrete sets) realizes the optimal matching — a depth-first order
+	// provably strands whole dimensions mid-cascade on ψ(S^4;·).
+	stack := make([]int32, 0, 1024)
+	removeCell := func(x int32) {
+		cr.alive[x] = false
+		cr.removed[entryDim[x]]++
+		for _, y := range cofaces(x) {
+			if !cr.alive[y] {
+				continue
+			}
+			bdCnt[y]--
+			if bdCnt[y] == 1 {
+				stack = append(stack, y)
+			}
+		}
+	}
+
+	// Seed: the lowest-index vertex of each component.
+	seeded := make(map[int32]bool)
+	for ei := 0; ei < n; ei++ {
+		if entryDim[ei] != 0 {
+			continue
+		}
+		root := find(int32(ei))
+		if !seeded[root] {
+			seeded[root] = true
+			removeCell(int32(ei))
+		}
+	}
+	cr.components = len(seeded)
+
+	// Drain: eliminate coreduction pairs until none remain.
+	steps := 0
+	head := 0
+	for head < len(stack) {
+		y := stack[head]
+		head++
+		if !cr.alive[y] || bdCnt[y] != 1 {
+			continue // stale queue record
+		}
+		var x int32 = -1
+		for _, f := range cr.faces[y] {
+			if cr.alive[f] {
+				x = f
+				break
+			}
+		}
+		if x < 0 {
+			continue // unreachable: bdCnt said one alive face
+		}
+		removeCell(y)
+		removeCell(x)
+		if steps++; steps%coreduceProbe == 0 && cancelled != nil && cancelled.Load() {
+			return nil, false
+		}
+	}
+
+	// Index the critical cells: per-dimension column numbering in
+	// ascending entry order (deterministic).
+	for ei := range cr.col {
+		cr.col[ei] = -1
+	}
+	for ei := 0; ei < n; ei++ {
+		if cr.alive[ei] {
+			d := entryDim[ei]
+			cr.col[ei] = int32(len(cr.aliveByDim[d]))
+			cr.aliveByDim[d] = append(cr.aliveByDim[d], int32(ei))
+		}
+	}
+	return cr, true
+}
+
+// publish bumps the collapse counters on tr: totals plus per-dimension
+// morse_removed.dN / morse_critical.dN, surfaced through /metrics.
+func (cr *coreduced) publish(tr *obs.Tracker) {
+	var removed, critical uint64
+	for d := 0; d <= cr.dim; d++ {
+		rem, crit := uint64(cr.removed[d]), uint64(len(cr.aliveByDim[d]))
+		if rem > 0 {
+			tr.Counter(fmt.Sprintf("morse_removed.d%d", d)).Add(rem)
+		}
+		if crit > 0 {
+			tr.Counter(fmt.Sprintf("morse_critical.d%d", d)).Add(crit)
+		}
+		removed += rem
+		critical += crit
+	}
+	tr.Counter("morse_removed").Add(removed)
+	tr.Counter("morse_critical").Add(critical)
+}
+
+// criticalCount returns the number of surviving d-cells.
+func (cr *coreduced) criticalCount(d int) int {
+	if d < 0 || d > cr.dim {
+		return 0
+	}
+	return len(cr.aliveByDim[d])
+}
+
+// boundaryZ2 builds the restricted GF(2) boundary matrix ∂_d over the
+// critical cells, choosing the representation by the same density
+// heuristic as the unreduced path (force overrides it: "sparse",
+// "bitset", or "").
+func (cr *coreduced) boundaryZ2(d int, force string) z2store {
+	rows, cols := cr.criticalCount(d-1), cr.aliveByDim[d]
+	if force == "bitset" || (force == "" && useBitset(rows, d+1)) {
+		m := newBitsetZ2Matrix(rows, len(cols))
+		for j, ei := range cols {
+			for _, f := range cr.faces[ei] {
+				if cr.alive[f] {
+					m.toggle(j, int(cr.col[f]))
+				}
+			}
+			m.resetLow(j)
+		}
+		return m
+	}
+	m := &sparseZ2Matrix{rows: rows, cols: make([][]int, len(cols))}
+	for j, ei := range cols {
+		col := make([]int, 0, len(cr.faces[ei]))
+		for _, f := range cr.faces[ei] {
+			if cr.alive[f] {
+				col = append(col, int(cr.col[f]))
+			}
+		}
+		m.cols[j] = normalizeColumn(col)
+	}
+	return m
+}
+
+// boundaryGFp builds the restricted signed boundary matrix ∂_d over
+// GF(p). Dead faces are skipped but keep their vertex-drop position, so
+// surviving coefficients are exactly the original (-1)^i signs — the
+// coreduction invariant that makes the restriction exact.
+func (cr *coreduced) boundaryGFp(p int64, d int) *denseGFp {
+	m := newDenseGFp(p, cr.criticalCount(d-1), cr.criticalCount(d))
+	for j, ei := range cr.aliveByDim[d] {
+		sign := int64(1)
+		for _, f := range cr.faces[ei] {
+			if cr.alive[f] {
+				m.set(int(cr.col[f]), j, sign)
+			}
+			sign = -sign
+		}
+	}
+	return m
+}
+
+// signedBoundary builds the restricted integer boundary matrix ∂_d as
+// dense rows of {-1, 0, +1}, the rational engine's input form.
+func (cr *coreduced) signedBoundary(d int) [][]int64 {
+	rows, cols := cr.criticalCount(d-1), cr.aliveByDim[d]
+	a := make([][]int64, rows)
+	for i := range a {
+		a[i] = make([]int64, len(cols))
+	}
+	for j, ei := range cols {
+		sign := int64(1)
+		for _, f := range cr.faces[ei] {
+			if cr.alive[f] {
+				a[cr.col[f]][j] = sign
+			}
+			sign = -sign
+		}
+	}
+	return a
+}
+
+// betti assembles the original complex's Betti numbers 0..top from the
+// restricted ranks: b0 is the component count (the seeds traded it for
+// reduced homology), and above that the usual rank-nullity bookkeeping
+// runs on critical-cell counts.
+func (cr *coreduced) betti(ranks []int, top int) []int {
+	betti := make([]int, top+1)
+	betti[0] = cr.components
+	for d := 1; d <= top; d++ {
+		betti[d] = cr.criticalCount(d) - ranks[d] - ranks[d+1]
+	}
+	return betti
+}
+
+// BettiGFpMorse is BettiGFp with the coreduction pass in front: identical
+// results (the differential suite pins this), computed from restricted
+// matrices. Like BettiGFp it requires p prime and rejects p < 2.
+func BettiGFpMorse(c *topology.Complex, p int64) ([]int, error) {
+	if p < 2 {
+		return nil, fmt.Errorf("homology: %d is not a prime", p)
+	}
+	dim := c.Dim()
+	if dim < 0 {
+		return nil, nil
+	}
+	cr, _ := coreduce(c, nil)
+	ranks := make([]int, dim+2)
+	for d := 1; d <= dim; d++ {
+		if cr.criticalCount(d) > 0 {
+			ranks[d] = cr.boundaryGFp(p, d).rank()
+		}
+	}
+	return cr.betti(ranks, dim), nil
+}
+
+// BettiQMorse is BettiQ with the coreduction pass in front: exact
+// rational Betti numbers from restricted matrices. The pass never changes
+// results; it widens the reach of the (otherwise slow) exact engine.
+func BettiQMorse(c *topology.Complex) []int {
+	dim := c.Dim()
+	if dim < 0 {
+		return nil
+	}
+	cr, _ := coreduce(c, nil)
+	ranks := make([]int, dim+2)
+	for d := 1; d <= dim; d++ {
+		if cr.criticalCount(d) > 0 {
+			ranks[d] = rationalRank(cr.signedBoundary(d))
+		}
+	}
+	return cr.betti(ranks, dim)
+}

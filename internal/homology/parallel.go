@@ -3,6 +3,7 @@ package homology
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -135,6 +136,13 @@ type Engine struct {
 	// representation: "sparse", "bitset", or "" for automatic. It exists
 	// for the differential tests and ablation benchmarks.
 	Force string
+	// DisableMorse turns off the coreduction (discrete-Morse)
+	// preprocessing pass that eliminates acyclic cell pairs before any
+	// boundary matrix is built (see morse.go); the zero value leaves the
+	// pass on. The pass never changes results — the differential suite
+	// pins morse-on against morse-off on every fixture — so the switch
+	// exists for benchmarks, tests, and incident triage.
+	DisableMorse bool
 
 	cache *Cache
 }
@@ -206,6 +214,48 @@ func (e *Engine) BettiZ2CtxResume(ctx context.Context, c *topology.Complex, know
 	})
 }
 
+// BettiZ2UpTo is BettiZ2 capped at maxDim: Betti numbers for dimensions
+// 0..min(maxDim, dim) only, reducing only the boundary matrices
+// ∂_1..∂_{maxDim+1} those dimensions need. Connectivity questions ask
+// about low dimensions of high-dimensional complexes, so the cap skips
+// exactly the top-dimensional matrices that dominate reduction cost.
+func (e *Engine) BettiZ2UpTo(c *topology.Complex, maxDim int) []int {
+	betti, _ := e.BettiZ2UpToCtx(context.Background(), c, maxDim)
+	return betti
+}
+
+// BettiZ2UpToCtx is BettiZ2UpTo with cancellation; see BettiZ2Ctx. A cap
+// at or above the complex dimension delegates to the full computation
+// (and its plain cache key); a genuinely capped vector is cached under a
+// cap-decorated key so it can never be mistaken for the full vector, and
+// a full vector already cached for the complex answers capped queries by
+// prefix without any computation.
+func (e *Engine) BettiZ2UpToCtx(ctx context.Context, c *topology.Complex, maxDim int) ([]int, error) {
+	if maxDim >= c.Dim() {
+		return e.BettiZ2Ctx(ctx, c)
+	}
+	if maxDim < 0 {
+		return nil, nil
+	}
+	if e.cache == nil {
+		return e.computeBettiCapped(ctx, c, maxDim)
+	}
+	hash := c.CanonicalHash()
+	if full, ok := e.cache.Peek(hash); ok {
+		return full[:maxDim+1], nil
+	}
+	return e.cache.do(ctx, hash+"|upto="+strconv.Itoa(maxDim), func() ([]int, error) {
+		return e.computeBettiCapped(ctx, c, maxDim)
+	})
+}
+
+func (e *Engine) computeBettiCapped(ctx context.Context, c *topology.Complex, maxDim int) ([]int, error) {
+	if e.DisableMorse {
+		return e.computeBettiPlain(ctx, c, maxDim, nil, nil)
+	}
+	return e.computeBettiMorse(ctx, c, maxDim, nil)
+}
+
 // ReducedBettiZ2 mirrors the package-level ReducedBettiZ2 on the engine.
 func (e *Engine) ReducedBettiZ2(c *topology.Complex) []int {
 	betti, _ := e.ReducedBettiZ2Ctx(context.Background(), c)
@@ -228,7 +278,9 @@ func (e *Engine) IsKConnected(c *topology.Complex, k int) bool {
 	return ok
 }
 
-// IsKConnectedCtx is IsKConnected with cancellation; see BettiZ2Ctx.
+// IsKConnectedCtx is IsKConnected with cancellation; see BettiZ2Ctx. The
+// verdict needs reduced Betti numbers only up to dimension k, so the
+// reduction is capped there (BettiZ2UpToCtx).
 func (e *Engine) IsKConnectedCtx(ctx context.Context, c *topology.Complex, k int) (bool, error) {
 	if k < -1 {
 		return true, nil
@@ -239,16 +291,26 @@ func (e *Engine) IsKConnectedCtx(ctx context.Context, c *topology.Complex, k int
 	if k == -1 {
 		return true, nil
 	}
-	betti, err := e.ReducedBettiZ2Ctx(ctx, c)
+	betti, err := e.BettiZ2UpToCtx(ctx, c, k)
 	if err != nil {
 		return false, err
 	}
+	return reducedVanishUpTo(betti, k), nil
+}
+
+// reducedVanishUpTo reports whether the reduced Betti numbers derived
+// from the (non-reduced) vector betti vanish in dimensions 0..k.
+func reducedVanishUpTo(betti []int, k int) bool {
 	for d := 0; d <= k && d < len(betti); d++ {
-		if betti[d] != 0 {
-			return false, nil
+		v := betti[d]
+		if d == 0 {
+			v--
+		}
+		if v != 0 {
+			return false
 		}
 	}
-	return true, nil
+	return true
 }
 
 // Connectivity mirrors the package-level Connectivity on the engine.
@@ -276,6 +338,37 @@ func (e *Engine) ConnectivityCtx(ctx context.Context, c *topology.Complex) (int,
 	return k, nil
 }
 
+// ConnectivityUpToCtx is ConnectivityCtx with the reduction capped at
+// maxDim: it returns min(Connectivity(c), maxDim), i.e. the exact
+// connectivity whenever that is below the cap and the cap itself when the
+// complex is at least maxDim-connected. A caller that only needs to
+// distinguish "at least k-connected" from the exact defect below k pays
+// for the low-dimensional matrices only.
+func (e *Engine) ConnectivityUpToCtx(ctx context.Context, c *topology.Complex, maxDim int) (int, error) {
+	if c.IsEmpty() {
+		return -2, nil
+	}
+	if maxDim < 0 {
+		return -1, nil
+	}
+	betti, err := e.BettiZ2UpToCtx(ctx, c, maxDim)
+	if err != nil {
+		return 0, err
+	}
+	k := -1
+	for d := 0; d < len(betti); d++ {
+		v := betti[d]
+		if d == 0 {
+			v--
+		}
+		if v != 0 {
+			return k, nil
+		}
+		k = d
+	}
+	return k, nil
+}
+
 // computeBetti builds the chain complex and reduces the boundary matrices
 // of all dimensions concurrently, each sharded across the worker budget.
 // A cancellable context plants a flag the column reductions probe; on
@@ -285,24 +378,68 @@ func (e *Engine) computeBetti(ctx context.Context, c *topology.Complex) ([]int, 
 }
 
 // computeBettiResume is computeBetti with known-rank skipping and
-// completed-rank emission; see BettiZ2CtxResume for the contract.
+// completed-rank emission; see BettiZ2CtxResume for the contract. With
+// the Morse pass enabled the reduction runs over critical cells, but the
+// ranks it emits are still ranks of the *original* boundary matrices
+// (recovered from the Betti numbers by rank-nullity), so checkpoints
+// written by a morse-on run restore into a morse-off run and vice versa.
+// A checkpoint covering every dimension routes to the plain path, which
+// restores all ranks without building a single matrix — cheaper than
+// re-running the collapse.
 func (e *Engine) computeBettiResume(ctx context.Context, c *topology.Complex, known map[int]int, emit func(d, rank int)) ([]int, error) {
-	cc := NewChainComplex(c)
-	if cc.dim < 0 {
+	dim := c.Dim()
+	if dim < 0 {
 		return nil, nil
 	}
-	var cancelled *atomic.Bool
-	if ctx.Done() != nil {
-		cancelled = new(atomic.Bool)
-		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
-		defer stop()
+	if !e.DisableMorse && !coversAllRanks(known, dim) {
+		return e.computeBettiMorse(ctx, c, dim, emit)
 	}
+	return e.computeBettiPlain(ctx, c, dim, known, emit)
+}
+
+// coversAllRanks reports whether known holds a rank for every boundary
+// dimension 1..dim, i.e. a restore that needs no reduction at all.
+func coversAllRanks(known map[int]int, dim int) bool {
+	if len(known) == 0 {
+		return dim == 0
+	}
+	for d := 1; d <= dim; d++ {
+		if _, ok := known[d]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// cancelFlag plants an atomic flag the column reductions probe, set when
+// ctx fires; nil when ctx can never fire. stop releases the watcher.
+func cancelFlag(ctx context.Context) (cancelled *atomic.Bool, stop func()) {
+	if ctx.Done() == nil {
+		return nil, func() {}
+	}
+	cancelled = new(atomic.Bool)
+	release := context.AfterFunc(ctx, func() { cancelled.Store(true) })
+	return cancelled, func() { release() }
+}
+
+// computeBettiPlain is the unreduced path: full boundary matrices for
+// ∂_1..∂_{maxDim+1}, Betti numbers for dimensions 0..min(maxDim, dim).
+// Passing maxDim >= c.Dim() yields the complete vector.
+func (e *Engine) computeBettiPlain(ctx context.Context, c *topology.Complex, maxDim int, known map[int]int, emit func(d, rank int)) ([]int, error) {
+	cc := NewChainComplex(c)
+	if cc.dim < 0 || maxDim < 0 {
+		return nil, nil
+	}
+	top := min(maxDim, cc.dim)
+	hi := min(top+1, cc.dim)
+	cancelled, stop := cancelFlag(ctx)
+	defer stop()
 	tr := obs.FromContext(ctx)
 	colCtr := tr.Counter("columns")
 	w := e.workers()
 	ranks := make([]int, cc.dim+2) // ∂_0 and ∂_{dim+1} are zero
 	var wg sync.WaitGroup
-	for d := 1; d <= cc.dim; d++ {
+	for d := 1; d <= hi; d++ {
 		if r, ok := known[d]; ok {
 			ranks[d] = r
 			tr.Counter("ranks_restored").Add(1)
@@ -326,9 +463,69 @@ func (e *Engine) computeBettiResume(ctx context.Context, c *topology.Complex, kn
 			return nil, err
 		}
 	}
-	betti := make([]int, cc.dim+1)
-	for d := 0; d <= cc.dim; d++ {
+	betti := make([]int, top+1)
+	for d := 0; d <= top; d++ {
 		betti[d] = cc.Count(d) - ranks[d] - ranks[d+1]
+	}
+	return betti, nil
+}
+
+// computeBettiMorse is the coreduction path: collapse first, then reduce
+// only the restricted boundary matrices ∂_1..∂_{maxDim+1} of the critical
+// cells (concurrently across dimensions, as in the plain path). The
+// "columns" counter counts critical columns, so the collapse win is
+// visible in the same metric the plain path reports. Emitted checkpoint
+// ranks are translated back to original-matrix ranks; emission needs the
+// whole Betti vector, so it only happens on uncapped runs.
+func (e *Engine) computeBettiMorse(ctx context.Context, c *topology.Complex, maxDim int, emit func(d, rank int)) ([]int, error) {
+	dim := c.Dim()
+	if dim < 0 || maxDim < 0 {
+		return nil, nil
+	}
+	top := min(maxDim, dim)
+	hi := min(top+1, dim)
+	cancelled, stop := cancelFlag(ctx)
+	defer stop()
+	tr := obs.FromContext(ctx)
+	cr, ok := coreduce(c, cancelled)
+	if !ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
+	cr.publish(tr)
+	colCtr := tr.Counter("columns")
+	w := e.workers()
+	ranks := make([]int, dim+2)
+	var wg sync.WaitGroup
+	for d := 1; d <= hi; d++ {
+		if cr.criticalCount(d) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			ranks[d] = rankOf(cr.boundaryZ2(d, e.Force), w, cancelled)
+			colCtr.Add(uint64(cr.criticalCount(d)))
+		}(d)
+	}
+	wg.Wait()
+	if cancelled != nil && cancelled.Load() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	betti := cr.betti(ranks, top)
+	if emit != nil && top == dim {
+		// Translate back: betti[d] = f_d - r_d - r_{d+1} with r_{dim+1} = 0,
+		// so the original ranks telescope down from the top dimension.
+		counts := c.FVector()
+		orig := 0
+		for d := dim; d >= 1; d-- {
+			orig = counts[d] - betti[d] - orig
+			emit(d, orig)
+		}
 	}
 	return betti, nil
 }

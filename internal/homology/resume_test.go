@@ -51,9 +51,15 @@ func TestBettiResume(t *testing.T) {
 		t.Fatalf("ranks_restored = %d, want 2", cs["ranks_restored"])
 	}
 
+	// A partial known set skips exactly the covered dimensions on the
+	// plain path. The Morse path instead ignores partial checkpoints (the
+	// restricted reduction is cheaper than the skipped work would be) —
+	// both must land on the same vector.
+	plain := NewEngine(2, nil)
+	plain.DisableMorse = true
 	tr2 := obs.NewTracker()
 	ctx2 := obs.WithTracker(context.Background(), tr2)
-	got3, err := e.BettiZ2CtxResume(ctx2, c, map[int]int{1: emitted[1]}, nil)
+	got3, err := plain.BettiZ2CtxResume(ctx2, c, map[int]int{1: emitted[1]}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,6 +68,18 @@ func TestBettiResume(t *testing.T) {
 	}
 	if cs2 := tr2.Counters(); cs2["ranks_restored"] != 1 || cs2["columns"] == 0 {
 		t.Fatalf("partial restore counters = %v, want ranks_restored=1 and columns>0", cs2)
+	}
+	tr3 := obs.NewTracker()
+	ctx3 := obs.WithTracker(context.Background(), tr3)
+	got3m, err := e.BettiZ2CtxResume(ctx3, c, map[int]int{1: emitted[1]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got3m, want) {
+		t.Fatalf("morse partially-restored run betti = %v, want %v", got3m, want)
+	}
+	if cs3 := tr3.Counters(); cs3["ranks_restored"] != 0 || cs3["morse_removed"] == 0 {
+		t.Fatalf("morse partial restore counters = %v, want ranks_restored=0 and a collapse", cs3)
 	}
 
 	// Out-of-range known dimensions are ignored, not trusted.

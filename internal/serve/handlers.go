@@ -99,6 +99,22 @@ func (s *Server) bettiZ2(ctx context.Context, c *topology.Complex, ck *jobs.Chec
 	})
 }
 
+// bettiGFp and bettiQ are the dense-field engines behind the same Morse
+// switch as the GF(2) path; the pass never changes their results.
+func (s *Server) bettiGFp(c *topology.Complex, p int64) ([]int, error) {
+	if s.cfg.DisableMorse {
+		return homology.BettiGFp(c, p)
+	}
+	return homology.BettiGFpMorse(c, p)
+}
+
+func (s *Server) bettiQ(c *topology.Complex) []int {
+	if s.cfg.DisableMorse {
+		return homology.BettiQ(c)
+	}
+	return homology.BettiQMorse(c)
+}
+
 // buildPseudosphere serves psi(S^n; V) (Definition 3) statistics with
 // optional Betti numbers and connectivity.
 func (s *Server) buildPseudosphere(q url.Values) (endpointQuery, error) {
@@ -217,7 +233,12 @@ func (s *Server) buildModel(ctx context.Context, mp modelParams, input topology.
 
 // buildConnectivity serves Betti numbers and connectivity of a model's
 // round complex over GF(2) (cancellable, cached by canonical hash via the
-// engine), GF(p), or Q.
+// engine), GF(p), or Q. All three fields run behind the engine's
+// coreduction pass (unless the server was started with -no-morse). An
+// optional upto=k parameter (GF(2) only) caps the reduction at dimension
+// k: the response then reports Betti numbers 0..k and min(connectivity, k)
+// — top-dimensional boundary matrices are never reduced, which is the
+// cheap way to ask "is this complex at least k-connected?".
 func (s *Server) buildConnectivity(q url.Values) (endpointQuery, error) {
 	mp, err := parseModelParams(q)
 	if err != nil {
@@ -226,6 +247,18 @@ func (s *Server) buildConnectivity(q url.Values) (endpointQuery, error) {
 	field := q.Get("field")
 	if field == "" {
 		field = "z2"
+	}
+	upto := -1
+	if raw := q.Get("upto"); raw != "" {
+		if upto, err = qInt(q, "upto", -1); err != nil {
+			return endpointQuery{}, err
+		}
+		if upto < 0 {
+			return endpointQuery{}, badRequest("upto=%d must be nonnegative", upto)
+		}
+		if field != "z2" {
+			return endpointQuery{}, badRequest("upto requires field=z2 (got field=%q)", field)
+		}
 	}
 	p := 0
 	switch field {
@@ -250,6 +283,9 @@ func (s *Server) buildConnectivity(q url.Values) (endpointQuery, error) {
 	if field == "gfp" {
 		key += "|p=" + strconv.Itoa(p)
 	}
+	if upto >= 0 {
+		key += "|upto=" + strconv.Itoa(upto)
+	}
 	return endpointQuery{
 		key:   key,
 		price: func() error { _, err := s.admitConstruction(mp); return err },
@@ -263,28 +299,40 @@ func (s *Server) buildConnectivity(q url.Values) (endpointQuery, error) {
 			}
 			c := res.Complex
 			var betti []int
-			switch field {
-			case "z2":
+			switch {
+			case field == "z2" && upto >= 0:
+				// Capped vectors are partial, so they bypass the rank
+				// checkpoint seam (whose entries must stay full-matrix
+				// ranks); the engine caches them under cap-decorated keys.
+				if betti, err = s.engine.BettiZ2UpToCtx(ctx, c, upto); err != nil {
+					return nil, err
+				}
+			case field == "z2":
 				if betti, err = s.bettiZ2(ctx, c, ck); err != nil {
 					return nil, err
 				}
-			case "gfp":
-				if betti, err = homology.BettiGFp(c, int64(p)); err != nil {
+			case field == "gfp":
+				if betti, err = s.bettiGFp(c, int64(p)); err != nil {
 					return nil, badRequestError{msg: err.Error()}
 				}
-			case "q":
-				betti = homology.BettiQ(c)
+			case field == "q":
+				betti = s.bettiQ(c)
 			}
 			conn := connectivityOf(c, betti)
+			var uptoOut *int
+			if upto >= 0 {
+				uptoOut = &upto
+			}
 			return struct {
 				Model        string       `json:"model"`
 				Params       modelJSON    `json:"params"`
 				Field        string       `json:"field"`
 				P            int          `json:"p,omitempty"`
+				Upto         *int         `json:"upto,omitempty"`
 				Complex      complexStats `json:"complex"`
 				Betti        []int        `json:"betti"`
 				Connectivity int          `json:"connectivity"`
-			}{mp.model, mp.json(), field, p, statsOf(c), betti, conn}, nil
+			}{mp.model, mp.json(), field, p, uptoOut, statsOf(c), betti, conn}, nil
 		},
 	}, nil
 }

@@ -79,6 +79,10 @@ type Config struct {
 	// batched per checkpoint flush (0 = 8). Smaller loses less work to a
 	// kill; larger amortizes the fsync better.
 	JobCheckpointEvery int
+	// DisableMorse turns off the homology engines' coreduction
+	// preprocessing (see homology.Engine.DisableMorse); results are
+	// identical either way, so this is a triage/benchmark switch.
+	DisableMorse bool
 	// Tracker receives request/latency/cache metrics (nil: a fresh one).
 	Tracker *obs.Tracker
 	// Log receives operational lines (nil: the standard logger).
@@ -179,6 +183,7 @@ func New(cfg Config) (*Server, error) {
 		s.betti.SetBacking(bettiBacking{st: st})
 	}
 	s.engine = homology.NewEngine(cfg.Workers, s.betti)
+	s.engine.DisableMorse = cfg.DisableMorse
 	s.putDone.Add(1)
 	go s.putLoop()
 

@@ -102,6 +102,43 @@ func TestEndpointsServeValidJSON(t *testing.T) {
 		}
 	})
 
+	t.Run("connectivity-capped", func(t *testing.T) {
+		code, _, full := get(t, ts, "/v1/connectivity?model=async&n=2&f=1&r=1")
+		if code != 200 {
+			t.Fatalf("status %d: %v", code, full)
+		}
+		fullBetti := full["betti"].([]any)
+		for upto := 0; upto <= len(fullBetti); upto++ {
+			path := fmt.Sprintf("/v1/connectivity?model=async&n=2&f=1&r=1&upto=%d", upto)
+			code, _, body := get(t, ts, path)
+			if code != 200 {
+				t.Fatalf("upto=%d: status %d: %v", upto, code, body)
+			}
+			if got := body["upto"].(float64); got != float64(upto) {
+				t.Fatalf("upto=%d echoed as %v", upto, got)
+			}
+			// Capped betti must be a prefix of the full vector, and the
+			// capped connectivity verdict its min with the cap.
+			betti := body["betti"].([]any)
+			wantLen := min(upto, len(fullBetti)-1) + 1
+			if len(betti) != wantLen {
+				t.Fatalf("upto=%d: betti %v, want prefix of %v of length %d", upto, betti, fullBetti, wantLen)
+			}
+			for d := range betti {
+				if betti[d].(float64) != fullBetti[d].(float64) {
+					t.Fatalf("upto=%d: betti %v is not a prefix of %v", upto, betti, fullBetti)
+				}
+			}
+			wantConn := full["connectivity"].(float64)
+			if float64(upto) < wantConn {
+				wantConn = float64(upto)
+			}
+			if got := body["connectivity"].(float64); got != wantConn {
+				t.Fatalf("upto=%d: connectivity %v, want %v", upto, got, wantConn)
+			}
+		}
+	})
+
 	t.Run("decision", func(t *testing.T) {
 		// Corollary 13: consensus (agree=1) is unsolvable in A^1 with f=1.
 		code, _, body := get(t, ts, "/v1/decision?model=async&n=2&f=1&r=1&agree=1")
@@ -128,6 +165,9 @@ func TestEndpointsServeValidJSON(t *testing.T) {
 			"/v1/rounds?model=async&n=2&m=5",
 			"/v1/rounds?model=semisync&c1=3&c2=1",
 			"/v1/connectivity?field=f7",
+			"/v1/connectivity?upto=-1",
+			"/v1/connectivity?upto=nope",
+			"/v1/connectivity?field=gfp&p=5&upto=1",
 			"/v1/decision?agree=0",
 			"/v1/pseudosphere?values=0,0",
 		} {

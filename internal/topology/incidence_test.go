@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEntryFacesDropOrder pins the contract the homology engine's signed
+// boundary builders rely on: the i-th appended face index is the face
+// omitting the i-th vertex, i.e. EntrySimplex(faces[i]) == s.Face(i).
+func TestEntryFacesDropOrder(t *testing.T) {
+	c := ComplexOf(
+		mustSimplex(v(0, "a"), v(1, "b"), v(2, "c"), v(3, "d")),
+		mustSimplex(v(2, "x"), v(4, "y")),
+	)
+	var buf []int32
+	for ei := int32(0); ei < int32(c.EntryCount()); ei++ {
+		s := c.EntrySimplex(ei)
+		if got, want := c.EntryDim(ei), len(s)-1; got != want {
+			t.Fatalf("entry %d: EntryDim = %d, want %d", ei, got, want)
+		}
+		buf = c.EntryFaces(ei, buf[:0])
+		if len(s) == 1 {
+			if len(buf) != 0 {
+				t.Fatalf("vertex entry %d: EntryFaces = %v, want none", ei, buf)
+			}
+			continue
+		}
+		if len(buf) != len(s) {
+			t.Fatalf("entry %d (%v): %d faces, want %d", ei, s, len(buf), len(s))
+		}
+		for i, fi := range buf {
+			if fi < 0 || fi >= int32(c.EntryCount()) {
+				t.Fatalf("entry %d face %d: index %d out of range", ei, i, fi)
+			}
+			want := s.Face(i)
+			if got := c.EntrySimplex(fi); got.Key() != want.Key() {
+				t.Fatalf("entry %d (%v) face %d: got %v, want %v", ei, s, i, got, want)
+			}
+		}
+	}
+}
+
+// TestEntryFacesCoversBoundary checks that per-dimension entry counts
+// agree with the f-vector and that every codim-1 simplex is reachable as
+// a face of something one dimension up.
+func TestEntryFacesCoversBoundary(t *testing.T) {
+	c := ComplexOf(
+		mustSimplex(v(0, "a"), v(1, "b"), v(2, "c")),
+		mustSimplex(v(0, "a"), v(3, "d")),
+	)
+	fv := c.FVector()
+	byDim := make([]int, c.Dim()+1)
+	seen := make(map[int32]bool)
+	var buf []int32
+	for ei := int32(0); ei < int32(c.EntryCount()); ei++ {
+		byDim[c.EntryDim(ei)]++
+		for _, fi := range c.EntryFaces(ei, buf[:0]) {
+			seen[fi] = true
+		}
+	}
+	for d, want := range fv {
+		if byDim[d] != want {
+			t.Fatalf("dim %d: %d entries, f-vector says %d", d, byDim[d], want)
+		}
+	}
+	// Everything except the facets must appear as somebody's face.
+	wantSeen := c.Size() - len(c.Facets())
+	if len(seen) != wantSeen {
+		t.Fatalf("%d distinct faces seen, want %d", len(seen), wantSeen)
+	}
+}
+
+// TestEntryFacesConcurrent exercises the documented read-only guarantee
+// under the race detector: many goroutines walking faces of a shared
+// complex concurrently.
+func TestEntryFacesConcurrent(t *testing.T) {
+	c := ComplexOf(mustSimplex(v(0, "a"), v(1, "b"), v(2, "c"), v(3, "d"), v(4, "e")))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []int32
+			total := 0
+			for ei := int32(0); ei < int32(c.EntryCount()); ei++ {
+				buf = c.EntryFaces(ei, buf[:0])
+				total += len(buf)
+			}
+			if total == 0 {
+				t.Error("no faces walked")
+			}
+		}()
+	}
+	wg.Wait()
+}
