@@ -20,6 +20,14 @@
 // time. Comparing a -async run with a synchronous one (EXPERIMENTS.md
 // E18) shows what the job indirection costs when the work is small and
 // what it buys when the work is not.
+//
+// With -targets (comma-separated base URLs) the workload is spread
+// round-robin across several endpoints — fleet routers, or replicas
+// addressed directly — and the report breaks hit rates out per target.
+// The report's replicas field counts the serving processes behind the
+// run: the fleet size published by a router's /metrics when one is the
+// target, otherwise the number of targets. EXPERIMENTS.md E20 uses this
+// to compare a standalone process against a 1-router + 2-replica fleet.
 package main
 
 import (
@@ -72,6 +80,7 @@ type sample struct {
 	latency time.Duration
 	status  int
 	cache   string // X-Cache: hit, miss, flight, or "" on error
+	target  string // base URL this request was sent to
 }
 
 func main() {
@@ -81,6 +90,7 @@ func main() {
 func realMain(args []string) int {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	target := fs.String("target", "http://localhost:8080", "serve base URL")
+	targetsFlag := fs.String("targets", "", "comma-separated serve base URLs; overrides -target and spreads load round-robin")
 	requests := fs.Int("requests", 200, "total requests to issue")
 	concurrency := fs.Int("concurrency", 8, "concurrent clients")
 	zipfS := fs.Float64("zipf-s", 1.2, "Zipf exponent over the query universe (>1)")
@@ -91,6 +101,20 @@ func realMain(args []string) int {
 		return 2
 	}
 
+	targets := []string{strings.TrimRight(*target, "/")}
+	if *targetsFlag != "" {
+		targets = targets[:0]
+		for _, part := range strings.Split(*targetsFlag, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				targets = append(targets, strings.TrimRight(part, "/"))
+			}
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: -targets has no URLs")
+			return 2
+		}
+	}
+
 	qs := universe()
 	rng := rand.New(rand.NewSource(*seed))
 	zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(qs)-1))
@@ -99,11 +123,13 @@ func realMain(args []string) int {
 		return 2
 	}
 
-	// Draw the whole workload upfront (the RNG is not goroutine-safe) and
-	// let workers pull from a shared channel.
-	work := make(chan string, *requests)
+	// Draw the whole workload upfront (the RNG is not goroutine-safe),
+	// pairing each query with its round-robin target, and let workers pull
+	// from a shared channel.
+	type job struct{ target, query string }
+	work := make(chan job, *requests)
 	for i := 0; i < *requests; i++ {
-		work <- qs[zipf.Uint64()]
+		work <- job{target: targets[i%len(targets)], query: qs[zipf.Uint64()]}
 	}
 	close(work)
 
@@ -116,13 +142,13 @@ func realMain(args []string) int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for q := range work {
+			for j := range work {
 				var s sample
 				if *asyncMode {
-					s = runJob(client, *target, q, *pollEvery)
+					s = runJob(client, j.target, j.query, *pollEvery)
 				} else {
 					t0 := time.Now()
-					resp, err := client.Get(*target + q)
+					resp, err := client.Get(j.target + j.query)
 					s.latency = time.Since(t0)
 					if err == nil {
 						io.Copy(io.Discard, resp.Body) //nolint:errcheck
@@ -131,6 +157,7 @@ func realMain(args []string) int {
 						s.cache = resp.Header.Get("X-Cache")
 					}
 				}
+				s.target = j.target
 				mu.Lock()
 				samples = append(samples, s)
 				mu.Unlock()
@@ -140,8 +167,9 @@ func realMain(args []string) int {
 	wg.Wait()
 	wall := time.Since(start)
 
-	report := buildReport(*target, *concurrency, samples, wall)
-	report.ServerMetrics = fetchMetrics(client, *target)
+	report := buildReport(targets, *concurrency, samples, wall)
+	report.ServerMetrics = fetchMetrics(client, targets[0])
+	report.Replicas = replicaCount(report.ServerMetrics, len(targets))
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	enc.Encode(report) //nolint:errcheck
@@ -230,23 +258,43 @@ type latencyStats struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
-type reportDoc struct {
-	Target        string                  `json:"target"`
-	Requests      int                     `json:"requests"`
-	Concurrency   int                     `json:"concurrency"`
-	WallSeconds   float64                 `json:"wall_seconds"`
-	Throughput    float64                 `json:"requests_per_second"`
-	Statuses      map[string]int          `json:"statuses"`
-	Cache         map[string]int          `json:"cache"`
-	HitRate       float64                 `json:"hit_rate"`
-	Latency       latencyStats            `json:"latency"`
-	ByCache       map[string]latencyStats `json:"latency_by_cache"`
-	ServerMetrics json.RawMessage         `json:"server_metrics,omitempty"`
+// targetReport is one target's slice of the run.
+type targetReport struct {
+	Requests int            `json:"requests"`
+	Statuses map[string]int `json:"statuses"`
+	Cache    map[string]int `json:"cache"`
+	HitRate  float64        `json:"hit_rate"`
 }
 
-func buildReport(target string, concurrency int, samples []sample, wall time.Duration) *reportDoc {
+type reportDoc struct {
+	Target        string                   `json:"target"`
+	Targets       []string                 `json:"targets,omitempty"`
+	Replicas      int                      `json:"replicas"`
+	Requests      int                      `json:"requests"`
+	Concurrency   int                      `json:"concurrency"`
+	WallSeconds   float64                  `json:"wall_seconds"`
+	Throughput    float64                  `json:"requests_per_second"`
+	Statuses      map[string]int           `json:"statuses"`
+	Cache         map[string]int           `json:"cache"`
+	HitRate       float64                  `json:"hit_rate"`
+	ByTarget      map[string]*targetReport `json:"by_target,omitempty"`
+	Latency       latencyStats             `json:"latency"`
+	ByCache       map[string]latencyStats  `json:"latency_by_cache"`
+	ServerMetrics json.RawMessage          `json:"server_metrics,omitempty"`
+}
+
+// hitRateOf is the shared hit-rate definition: hits over requests that
+// reported any cache disposition.
+func hitRateOf(cache map[string]int) float64 {
+	if n := cache["hit"] + cache["miss"] + cache["flight"]; n > 0 {
+		return float64(cache["hit"]) / float64(n)
+	}
+	return 0
+}
+
+func buildReport(targets []string, concurrency int, samples []sample, wall time.Duration) *reportDoc {
 	r := &reportDoc{
-		Target:      target,
+		Target:      targets[0],
 		Requests:    len(samples),
 		Concurrency: concurrency,
 		WallSeconds: wall.Seconds(),
@@ -254,31 +302,78 @@ func buildReport(target string, concurrency int, samples []sample, wall time.Dur
 		Cache:       map[string]int{},
 		ByCache:     map[string]latencyStats{},
 	}
+	// Per-target breakdown only when the load was actually spread: a
+	// single-target report keeps its historical flat shape.
+	if len(targets) > 1 {
+		r.Targets = targets
+		r.ByTarget = map[string]*targetReport{}
+		for _, tgt := range targets {
+			r.ByTarget[tgt] = &targetReport{Statuses: map[string]int{}, Cache: map[string]int{}}
+		}
+	}
 	if wall > 0 {
 		r.Throughput = float64(len(samples)) / wall.Seconds()
 	}
 	all := make([]time.Duration, 0, len(samples))
 	byCache := map[string][]time.Duration{}
 	for _, s := range samples {
+		tr := r.ByTarget[s.target]
+		if tr != nil {
+			tr.Requests++
+		}
 		if s.status == 0 {
 			r.Statuses["error"]++
+			if tr != nil {
+				tr.Statuses["error"]++
+			}
 			continue
 		}
 		r.Statuses[fmt.Sprint(s.status)]++
+		if tr != nil {
+			tr.Statuses[fmt.Sprint(s.status)]++
+		}
 		all = append(all, s.latency)
 		if s.cache != "" {
 			r.Cache[s.cache]++
 			byCache[s.cache] = append(byCache[s.cache], s.latency)
+			if tr != nil {
+				tr.Cache[s.cache]++
+			}
 		}
 	}
-	if n := r.Cache["hit"] + r.Cache["miss"] + r.Cache["flight"]; n > 0 {
-		r.HitRate = float64(r.Cache["hit"]) / float64(n)
+	r.HitRate = hitRateOf(r.Cache)
+	for _, tr := range r.ByTarget {
+		tr.HitRate = hitRateOf(tr.Cache)
 	}
 	r.Latency = stats(all)
 	for cache, ls := range byCache {
 		r.ByCache[cache] = stats(ls)
 	}
 	return r
+}
+
+// replicaCount derives how many serving processes stood behind the run:
+// a router target publishes its fleet in /metrics (replicas), a fleet
+// replica publishes its ring membership (cluster.peers), and anything
+// else counts the targets the load was spread over.
+func replicaCount(metrics json.RawMessage, fallback int) int {
+	var doc struct {
+		Replicas []struct {
+			URL string `json:"url"`
+		} `json:"replicas"`
+		Cluster *struct {
+			Peers []string `json:"peers"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal(metrics, &doc); err == nil {
+		if len(doc.Replicas) > 0 {
+			return len(doc.Replicas)
+		}
+		if doc.Cluster != nil && len(doc.Cluster.Peers) > 0 {
+			return len(doc.Cluster.Peers)
+		}
+	}
+	return fallback
 }
 
 func stats(ls []time.Duration) latencyStats {

@@ -54,6 +54,65 @@ func TestLoadgenAsync(t *testing.T) {
 	}
 }
 
+func TestLoadgenTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("issues real queries")
+	}
+	a, b := newTarget(t), newTarget(t)
+	code := realMain([]string{"-targets", a.URL + "," + b.URL, "-requests", "12", "-concurrency", "3", "-seed", "7"})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+}
+
+// TestBuildReportByTarget pins the multi-target report shape: per-target
+// request counts and hit rates, and the flat shape when one target.
+func TestBuildReportByTarget(t *testing.T) {
+	samples := []sample{
+		{latency: time.Millisecond, status: 200, cache: "miss", target: "http://a"},
+		{latency: time.Millisecond, status: 200, cache: "hit", target: "http://a"},
+		{latency: time.Millisecond, status: 200, cache: "hit", target: "http://b"},
+		{latency: time.Millisecond, status: 429, target: "http://b"},
+	}
+	r := buildReport([]string{"http://a", "http://b"}, 2, samples, time.Second)
+	if r.ByTarget["http://a"].Requests != 2 || r.ByTarget["http://b"].Requests != 2 {
+		t.Fatalf("per-target requests: %+v", r.ByTarget)
+	}
+	if got := r.ByTarget["http://a"].HitRate; got != 0.5 {
+		t.Fatalf("target a hit rate = %v, want 0.5", got)
+	}
+	if got := r.ByTarget["http://b"].HitRate; got != 1.0 {
+		t.Fatalf("target b hit rate = %v, want 1.0", got)
+	}
+	if got := r.HitRate; got != 2.0/3.0 {
+		t.Fatalf("overall hit rate = %v, want 2/3", got)
+	}
+
+	flat := buildReport([]string{"http://a"}, 2, samples[:2], time.Second)
+	if flat.ByTarget != nil || flat.Targets != nil {
+		t.Fatal("single-target report must keep the flat shape")
+	}
+}
+
+// TestReplicaCount pins how the replicas field is derived from each
+// kind of /metrics document.
+func TestReplicaCount(t *testing.T) {
+	router := []byte(`{"counters":{},"replicas":[{"url":"http://a","up":true},{"url":"http://b","up":false}]}`)
+	if got := replicaCount(router, 1); got != 2 {
+		t.Fatalf("router metrics: %d, want 2", got)
+	}
+	replica := []byte(`{"counters":{},"cluster":{"self":"http://a","peers":["http://a","http://b","http://c"]}}`)
+	if got := replicaCount(replica, 1); got != 3 {
+		t.Fatalf("replica metrics: %d, want 3", got)
+	}
+	if got := replicaCount([]byte(`{"counters":{}}`), 4); got != 4 {
+		t.Fatalf("standalone metrics: %d, want fallback 4", got)
+	}
+	if got := replicaCount(nil, 2); got != 2 {
+		t.Fatalf("missing metrics: %d, want fallback 2", got)
+	}
+}
+
 func TestLoadgenBadFlags(t *testing.T) {
 	if code := realMain([]string{"-no-such-flag"}); code != 2 {
 		t.Fatalf("exit %d, want 2", code)

@@ -39,6 +39,25 @@
 // in-flight enumerations drain (up to -drain-timeout, then they are
 // cancelled), running jobs checkpoint and requeue, the result store
 // flushes, and the process exits 0 on a clean drain.
+//
+// The -mode flag scales the service horizontally:
+//
+//	-mode standalone   (default) one process serves everything
+//	-mode replica      one fleet member; -self is its own base URL and
+//	                   -peers lists every replica (itself included).
+//	                   Replicas shard the result store by consistent
+//	                   hashing: each key has one owner, misses fill from
+//	                   the owner over HTTP, and cold requests delegate to
+//	                   the owner so concurrent identical work collapses
+//	                   into one compute fleet-wide.
+//	-mode router       the fleet's front door; -replicas lists the
+//	                   replica base URLs. The router derives each
+//	                   request's canonical key, sends it to the key's
+//	                   owner, and fails over along the ring when a
+//	                   replica is down (probed every -health-interval).
+//
+// A 1-router + N-replica fleet answers exactly the same API as a
+// standalone process — standalone is simply a fleet of one.
 package main
 
 import (
@@ -51,6 +70,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -82,6 +102,12 @@ func realMain(args []string, ready chan<- net.Addr) int {
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job run deadline (0 = none)")
 	jobCkptEvery := fs.Int("job-checkpoint-every", 0, "construction shards per checkpoint flush (0 = 8)")
 	noMorse := fs.Bool("no-morse", false, "disable the homology engines' coreduction preprocessing")
+	mode := fs.String("mode", "standalone", "process role: standalone, replica, or router")
+	self := fs.String("self", "", "replica mode: this replica's base URL as peers reach it")
+	peers := fs.String("peers", "", "replica mode: comma-separated base URLs of every replica (including -self)")
+	replicas := fs.String("replicas", "", "router mode: comma-separated replica base URLs")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default)")
+	healthInterval := fs.Duration("health-interval", 2*time.Second, "router mode: replica health probe period")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -89,6 +115,42 @@ func realMain(args []string, ready chan<- net.Addr) int {
 	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
 	tracker := obs.NewTracker()
 	tracker.PublishExpvar("serve.counters", "serve.stages")
+
+	var clusterCfg *serve.ClusterConfig
+	switch *mode {
+	case "standalone":
+	case "replica":
+		if *self == "" || *peers == "" {
+			fmt.Fprintln(os.Stderr, "serve: -mode replica requires -self and -peers")
+			return 2
+		}
+		peerList := splitURLs(*peers)
+		selfURL := strings.TrimRight(strings.TrimSpace(*self), "/")
+		if !contains(peerList, selfURL) {
+			fmt.Fprintln(os.Stderr, "serve: -peers must include -self (the replica is on its own ring)")
+			return 2
+		}
+		clusterCfg = &serve.ClusterConfig{Self: selfURL, Peers: peerList, VNodes: *vnodes}
+	case "router":
+		if *replicas == "" {
+			fmt.Fprintln(os.Stderr, "serve: -mode router requires -replicas")
+			return 2
+		}
+		return runRouter(routerArgs{
+			addr:           *addr,
+			replicas:       splitURLs(*replicas),
+			vnodes:         *vnodes,
+			healthInterval: *healthInterval,
+			nodeLimit:      *nodeLimit,
+			drainTimeout:   *drainTimeout,
+			tracker:        tracker,
+			log:            logger,
+		}, ready)
+	default:
+		fmt.Fprintf(os.Stderr, "serve: unknown -mode %q (want standalone, replica, or router)\n", *mode)
+		return 2
+	}
+
 	srv, err := serve.New(serve.Config{
 		StoreDir:           *storeDir,
 		Workers:            *workers,
@@ -103,6 +165,7 @@ func realMain(args []string, ready chan<- net.Addr) int {
 		JobRetention:       *jobRetention,
 		JobTimeout:         *jobTimeout,
 		JobCheckpointEvery: *jobCkptEvery,
+		Cluster:            clusterCfg,
 		DisableMorse:       *noMorse,
 		Tracker:            tracker,
 		Log:                logger,
@@ -134,7 +197,7 @@ func realMain(args []string, ready chan<- net.Addr) int {
 			errCh <- err
 		}
 	}()
-	logger.Printf("listening on %s (store=%q jobs=%q)", ln.Addr(), *storeDir, *jobDir)
+	logger.Printf("listening on %s (mode=%s store=%q jobs=%q)", ln.Addr(), *mode, *storeDir, *jobDir)
 	if ready != nil {
 		ready <- ln.Addr()
 	}
@@ -169,4 +232,105 @@ func realMain(args []string, ready chan<- net.Addr) int {
 	}
 	logger.Printf("drained cleanly")
 	return 0
+}
+
+// routerArgs is the router-mode slice of the flag set.
+type routerArgs struct {
+	addr           string
+	replicas       []string
+	vnodes         int
+	healthInterval time.Duration
+	nodeLimit      int64
+	drainTimeout   time.Duration
+	tracker        *obs.Tracker
+	log            *log.Logger
+}
+
+// runRouter is realMain's router-mode tail: same listener, signal, and
+// drain discipline as a replica, around a Router instead of a Server.
+func runRouter(a routerArgs, ready chan<- net.Addr) int {
+	router, err := serve.NewRouter(serve.RouterConfig{
+		Replicas:       a.replicas,
+		VNodes:         a.vnodes,
+		HealthInterval: a.healthInterval,
+		NodeLimit:      a.nodeLimit,
+		Tracker:        a.tracker,
+		Log:            a.log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", a.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		router.Close()
+		return 1
+	}
+	httpSrv := &http.Server{
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	a.log.Printf("listening on %s (mode=router replicas=%d)", ln.Addr(), len(a.replicas))
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		router.Close()
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+
+	a.log.Printf("signal received; draining in-flight requests (up to %s)", a.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), a.drainTimeout)
+	defer cancel()
+	clean := true
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		a.log.Printf("drain deadline exceeded (%v); closing", err)
+		httpSrv.Close()
+		clean = false
+	}
+	if err := router.Close(); err != nil {
+		a.log.Printf("close: %v", err)
+		clean = false
+	}
+	if !clean {
+		return 1
+	}
+	a.log.Printf("drained cleanly")
+	return 0
+}
+
+// splitURLs parses a comma-separated URL list, trimming blanks.
+func splitURLs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, strings.TrimRight(part, "/"))
+		}
+	}
+	return out
+}
+
+func contains(list []string, want string) bool {
+	for _, v := range list {
+		if v == want {
+			return true
+		}
+	}
+	return false
 }

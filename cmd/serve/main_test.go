@@ -111,6 +111,120 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// TestServeFleetSmoke runs the sharded topology end to end inside one
+// process: two replica-mode realMains plus one router-mode realMain, a
+// query routed twice (the second a cache hit), the compute visible on
+// exactly one replica's metrics, and a clean three-way SIGTERM drain.
+func TestServeFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts three real servers")
+	}
+	// Replicas must know each other's URLs before they can bind, so
+	// reserve two ports up front. The close-then-rebind window is the
+	// usual test-only race; the CI mini-fleet uses fixed ports.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	peers := "http://" + addrs[0] + ",http://" + addrs[1]
+
+	dir := t.TempDir()
+	exits := make(chan int, 3)
+	for i, addr := range addrs {
+		ready := make(chan net.Addr, 1)
+		go func() {
+			exits <- realMain([]string{
+				"-addr", addr,
+				"-mode", "replica",
+				"-self", "http://" + addr,
+				"-peers", peers,
+				"-store", filepath.Join(dir, fmt.Sprintf("store%d", i)),
+				"-workers", "2", "-pool", "2",
+			}, ready)
+		}()
+		select {
+		case <-ready:
+		case code := <-exits:
+			t.Fatalf("replica %d exited early with %d", i, code)
+		case <-time.After(30 * time.Second):
+			t.Fatalf("replica %d never became ready", i)
+		}
+	}
+	routerReady := make(chan net.Addr, 1)
+	go func() {
+		exits <- realMain([]string{
+			"-addr", "127.0.0.1:0",
+			"-mode", "router",
+			"-replicas", peers,
+		}, routerReady)
+	}()
+	var base string
+	select {
+	case addr := <-routerReady:
+		base = "http://" + addr.String()
+	case code := <-exits:
+		t.Fatalf("router exited early with %d", code)
+	case <-time.After(30 * time.Second):
+		t.Fatal("router never became ready")
+	}
+
+	const path = "/v1/connectivity?model=async&n=2&f=1&r=1"
+	getCache := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("X-Cache")
+	}
+	if code, cache := getCache(); code != 200 || cache != "miss" {
+		t.Fatalf("first routed request: %d %q, want 200 miss", code, cache)
+	}
+	if code, cache := getCache(); code != 200 || cache != "hit" {
+		t.Fatalf("second routed request: %d %q, want 200 hit", code, cache)
+	}
+
+	computes := func(addr string) float64 {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m struct {
+			Counters map[string]float64 `json:"counters"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m.Counters["computes"]
+	}
+	c0, c1 := computes(addrs[0]), computes(addrs[1])
+	if c0+c1 != 1 || (c0 != 0 && c1 != 0) {
+		t.Fatalf("computes landed on the wrong replicas: replica0=%v replica1=%v, want exactly one compute on exactly one", c0, c1)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case code := <-exits:
+			if code != 0 {
+				t.Fatalf("fleet member exited %d after graceful SIGTERM", code)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("fleet did not fully exit after SIGTERM")
+		}
+	}
+}
+
 func TestServeBadFlags(t *testing.T) {
 	if code := realMain([]string{"-no-such-flag"}, nil); code != 2 {
 		t.Fatalf("bad flag: exit %d, want 2", code)
@@ -118,6 +232,17 @@ func TestServeBadFlags(t *testing.T) {
 	// -jobs without -store is a configuration error, reported at startup.
 	if code := realMain([]string{"-jobs", filepath.Join(t.TempDir(), "jobs"), "-addr", "127.0.0.1:0"}, nil); code != 1 {
 		t.Fatalf("-jobs without -store: exit %d, want 1", code)
+	}
+	// The cluster modes validate their wiring before anything listens.
+	for _, tc := range [][]string{
+		{"-mode", "sharded"},
+		{"-mode", "replica", "-store", "s"},
+		{"-mode", "replica", "-store", "s", "-self", "http://a", "-peers", "http://b,http://c"},
+		{"-mode", "router"},
+	} {
+		if code := realMain(tc, nil); code != 2 {
+			t.Fatalf("%v: exit %d, want 2", tc, code)
+		}
 	}
 }
 

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"pseudosphere/internal/obs"
+	"pseudosphere/internal/store"
+)
+
+// KVPath is the internal peer-to-peer key/value endpoint every replica
+// mounts over its local disk store: GET reads an entry (404 on miss),
+// PUT writes one. It is the wire protocol of the read-through backend
+// and of owner pushes; it serves only the replica's local tier (never
+// its read-through view), so two replicas asking each other can never
+// recurse. Replicas should listen on an internal interface — the
+// endpoint is the fleet's trust boundary, not a public API.
+const KVPath = "/internal/kv"
+
+// maxKVBody bounds a pushed entry; it matches the sizes the service
+// actually persists (JSON response bodies and Betti vectors) with wide
+// margin while keeping a misbehaving peer from streaming gigabytes.
+const maxKVBody = 256 << 20
+
+// fetchTimeout bounds one peer fill. A fill is an optimization — if the
+// owner is slow or dead the caller computes locally — so it must fail
+// fast rather than hold a request hostage.
+const fetchTimeout = 5 * time.Second
+
+// pushQueueLen bounds the owner-push backlog; an unreachable owner
+// drops pushes (counted) instead of accumulating bodies in memory.
+const pushQueueLen = 256
+
+// ReadThrough is a store.Backend that layers the fleet over a local
+// tier: Get serves local hits, and on a miss asks the key's owner
+// replica over HTTP, filling the local tier on success — one cold build
+// anywhere warms every replica that is asked for it. Put writes locally
+// and, for keys this replica does not own, pushes the entry to the
+// owner in the background, making the owner the shared tier for its
+// keys (a job or failover compute that lands off-owner still surfaces
+// where the router sends future traffic).
+//
+// Counters (on the injected tracker): cluster_fills / cluster_fill_misses
+// for remote Gets, cluster_pushes / cluster_push_errors /
+// cluster_push_drops for owner pushes.
+type ReadThrough struct {
+	local  store.Backend
+	ring   *Ring
+	self   string
+	client *http.Client
+	tr     *obs.Tracker
+
+	pushq      chan kvEntry
+	pushDone   sync.WaitGroup
+	pushMu     sync.RWMutex
+	pushClosed bool
+	closeOnce  sync.Once
+}
+
+type kvEntry struct {
+	key  string
+	body []byte
+}
+
+var _ store.Backend = (*ReadThrough)(nil)
+
+// NewReadThrough builds the fleet backend over the local tier. self is
+// this replica's base URL as it appears on the ring. Close releases the
+// push worker.
+func NewReadThrough(local store.Backend, ring *Ring, self string, tr *obs.Tracker) *ReadThrough {
+	rt := &ReadThrough{
+		local:  local,
+		ring:   ring,
+		self:   self,
+		client: &http.Client{Timeout: fetchTimeout},
+		tr:     tr,
+		pushq:  make(chan kvEntry, pushQueueLen),
+	}
+	rt.pushDone.Add(1)
+	go rt.pushLoop()
+	return rt
+}
+
+func kvURL(node, key string) string {
+	return node + KVPath + "?key=" + url.QueryEscape(key)
+}
+
+// Get serves the local tier, then the key's owner. A remote failure of
+// any kind is a miss — the caller recomputes; wrong bytes are impossible
+// because the local tier's framing re-validates the fill on every later
+// read.
+func (rt *ReadThrough) Get(key string) ([]byte, bool) {
+	if body, ok := rt.local.Get(key); ok {
+		return body, true
+	}
+	owner := rt.ring.Owner(key)
+	if owner == "" || owner == rt.self {
+		return nil, false // authoritative miss: nobody else to ask
+	}
+	resp, err := rt.client.Get(kvURL(owner, key))
+	if err != nil {
+		rt.tr.Counter("cluster_fill_misses").Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rt.tr.Counter("cluster_fill_misses").Add(1)
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxKVBody+1))
+	if err != nil || len(body) > maxKVBody {
+		rt.tr.Counter("cluster_fill_misses").Add(1)
+		return nil, false
+	}
+	rt.tr.Counter("cluster_fills").Add(1)
+	rt.local.Put(key, body) //nolint:errcheck // best-effort warmth
+	return body, true
+}
+
+// Put writes locally and schedules an owner push for keys this replica
+// does not own. The local write's error is the caller's; the push is
+// best-effort — dropped (and counted) when the queue is full or already
+// closed, which happens when a compute outlives a hard abort and
+// persists its result after Close.
+func (rt *ReadThrough) Put(key string, payload []byte) error {
+	err := rt.local.Put(key, payload)
+	if owner := rt.ring.Owner(key); owner != "" && owner != rt.self {
+		rt.pushMu.RLock()
+		if !rt.pushClosed {
+			select {
+			case rt.pushq <- kvEntry{key: key, body: payload}:
+				rt.pushMu.RUnlock()
+				return err
+			default:
+			}
+		}
+		rt.pushMu.RUnlock()
+		rt.tr.Counter("cluster_push_drops").Add(1)
+	}
+	return err
+}
+
+// pushLoop delivers queued entries to their owners.
+func (rt *ReadThrough) pushLoop() {
+	defer rt.pushDone.Done()
+	for e := range rt.pushq {
+		owner := rt.ring.Owner(e.key)
+		if owner == "" || owner == rt.self {
+			continue // membership changed under us; the key is home already
+		}
+		req, err := http.NewRequest(http.MethodPut, kvURL(owner, e.key), bytes.NewReader(e.body))
+		if err != nil {
+			rt.tr.Counter("cluster_push_errors").Add(1)
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			rt.tr.Counter("cluster_push_errors").Add(1)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			rt.tr.Counter("cluster_push_errors").Add(1)
+			continue
+		}
+		rt.tr.Counter("cluster_pushes").Add(1)
+	}
+}
+
+// Stats and Len delegate to the local tier: the fleet counters live on
+// the tracker, the disk counters where they always were.
+func (rt *ReadThrough) Stats() (hits, misses, puts, evictions uint64) { return rt.local.Stats() }
+func (rt *ReadThrough) Len() int                                     { return rt.local.Len() }
+
+// Close drains the pending owner pushes (the fleet's half of a graceful
+// shutdown flush) and stops the push worker. Idempotent.
+func (rt *ReadThrough) Close() {
+	rt.closeOnce.Do(func() {
+		rt.pushMu.Lock()
+		rt.pushClosed = true
+		rt.pushMu.Unlock()
+		close(rt.pushq)
+		rt.pushDone.Wait()
+	})
+}
+
+// KVHandler serves KVPath over a replica's local tier. GET answers the
+// stored bytes or 404; PUT stores the body under the key. It must be
+// given the plain local store, never a ReadThrough — peers answer for
+// what they hold, they do not go asking further.
+func KVHandler(local store.Backend) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get("key")
+		if key == "" {
+			http.Error(w, "missing key", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			body, ok := local.Get(key)
+			if !ok {
+				http.Error(w, "not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(body) //nolint:errcheck
+		case http.MethodPut:
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxKVBody))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+				return
+			}
+			if err := local.Put(key, body); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"pseudosphere/internal/obs"
+	"pseudosphere/internal/store"
+)
+
+// memBackend is an in-memory store.Backend for wiring tests.
+type memBackend struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	hits, misses, puts uint64
+}
+
+func newMemBackend() *memBackend { return &memBackend{m: make(map[string][]byte)} }
+
+func (b *memBackend) Get(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	body, ok := b.m[key]
+	if ok {
+		b.hits++
+	} else {
+		b.misses++
+	}
+	return body, ok
+}
+
+func (b *memBackend) Put(key string, payload []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[key] = append([]byte(nil), payload...)
+	b.puts++
+	return nil
+}
+
+func (b *memBackend) Stats() (hits, misses, puts, evictions uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits, b.misses, b.puts, 0
+}
+
+func (b *memBackend) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.m)
+}
+
+var _ store.Backend = (*memBackend)(nil)
+
+// twoNodeFleet wires an owner replica (its local store behind KVHandler)
+// and a non-owner ReadThrough whose ring maps every key to the owner.
+func twoNodeFleet(t *testing.T) (ownerLocal *memBackend, rt *ReadThrough, tr *obs.Tracker) {
+	t.Helper()
+	ownerLocal = newMemBackend()
+	srv := httptest.NewServer(KVHandler(ownerLocal))
+	t.Cleanup(srv.Close)
+
+	// One real member: every key's owner is srv, and self is someone else.
+	ring := NewRing(4)
+	ring.Add(srv.URL)
+	tr = obs.NewTracker()
+	rt = NewReadThrough(newMemBackend(), ring, "http://self.invalid", tr)
+	t.Cleanup(rt.Close)
+	return ownerLocal, rt, tr
+}
+
+// TestReadThroughFillsFromOwner: a key present only on the owner is a
+// hit through the non-owner's backend, and the fill warms its local
+// tier so the second read never leaves the process.
+func TestReadThroughFillsFromOwner(t *testing.T) {
+	ownerLocal, rt, tr := twoNodeFleet(t)
+	if err := ownerLocal.Put("k1", []byte("payload-1")); err != nil {
+		t.Fatal(err)
+	}
+
+	body, ok := rt.Get("k1")
+	if !ok || string(body) != "payload-1" {
+		t.Fatalf("Get(k1) = %q, %v; want remote fill", body, ok)
+	}
+	if got := tr.Counters()["cluster_fills"]; got != 1 {
+		t.Fatalf("cluster_fills = %d, want 1", got)
+	}
+	ownerHits, _, _, _ := ownerLocal.Stats()
+	if _, ok := rt.Get("k1"); !ok {
+		t.Fatal("second Get(k1) missed")
+	}
+	if nowHits, _, _, _ := ownerLocal.Stats(); nowHits != ownerHits {
+		t.Fatal("second Get went back to the owner; fill did not warm the local tier")
+	}
+}
+
+// TestReadThroughMiss: absent everywhere is a miss, counted.
+func TestReadThroughMiss(t *testing.T) {
+	_, rt, tr := twoNodeFleet(t)
+	if _, ok := rt.Get("nope"); ok {
+		t.Fatal("Get of absent key reported a hit")
+	}
+	if got := tr.Counters()["cluster_fill_misses"]; got != 1 {
+		t.Fatalf("cluster_fill_misses = %d, want 1", got)
+	}
+}
+
+// TestReadThroughPushesToOwner: Put on a non-owner lands locally at
+// once and on the owner shortly after.
+func TestReadThroughPushesToOwner(t *testing.T) {
+	ownerLocal, rt, tr := twoNodeFleet(t)
+	if err := rt.Put("k2", []byte("payload-2")); err != nil {
+		t.Fatal(err)
+	}
+	if body, ok := rt.Get("k2"); !ok || string(body) != "payload-2" {
+		t.Fatalf("local read-back after Put = %q, %v", body, ok)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if body, ok := ownerLocal.Get("k2"); ok {
+			if string(body) != "payload-2" {
+				t.Fatalf("owner got %q", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("push to owner never arrived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := tr.Counters()["cluster_pushes"]; got != 1 {
+		t.Fatalf("cluster_pushes = %d, want 1", got)
+	}
+}
+
+// TestReadThroughDeadOwner: an unreachable owner degrades to a plain
+// local store — Get misses, Put still lands locally, nothing blocks.
+func TestReadThroughDeadOwner(t *testing.T) {
+	ring := NewRing(4)
+	ring.Add("http://127.0.0.1:1") // reserved port: connection refused
+	tr := obs.NewTracker()
+	rt := NewReadThrough(newMemBackend(), ring, "http://self.invalid", tr)
+	defer rt.Close()
+
+	if _, ok := rt.Get("k"); ok {
+		t.Fatal("dead owner produced a hit")
+	}
+	if err := rt.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if body, ok := rt.Get("k"); !ok || string(body) != "v" {
+		t.Fatalf("local tier lost the Put: %q, %v", body, ok)
+	}
+	rt.Close() // idempotent; also drains the doomed push
+	c := tr.Counters()
+	if c["cluster_fill_misses"] == 0 {
+		t.Fatal("dead-owner Get not counted as fill miss")
+	}
+	if c["cluster_push_errors"] == 0 {
+		t.Fatal("dead-owner Put not counted as push error")
+	}
+
+	// A Put after Close (a compute outliving a hard abort) must not panic
+	// on the closed push queue: it lands locally, the push is dropped.
+	if err := rt.Put("late", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.Get("late"); !ok {
+		t.Fatal("post-Close Put did not land locally")
+	}
+	if got := tr.Counters()["cluster_push_drops"]; got == 0 {
+		t.Fatal("post-Close push not counted as dropped")
+	}
+}
+
+// TestKVHandlerProtocol: the wire contract replicas rely on.
+func TestKVHandlerProtocol(t *testing.T) {
+	local := newMemBackend()
+	srv := httptest.NewServer(KVHandler(local))
+	defer srv.Close()
+	client := srv.Client()
+
+	do := func(method, url string, body []byte) *http.Response {
+		t.Helper()
+		var req *http.Request
+		var err error
+		if body != nil {
+			req, err = http.NewRequest(method, url, bytes.NewReader(body))
+		} else {
+			req, err = http.NewRequest(method, url, nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := do(http.MethodGet, kvURL(srv.URL, "missing"), nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET missing = %d, want 404", resp.StatusCode)
+	}
+	if resp := do(http.MethodGet, srv.URL+KVPath, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET without key = %d, want 400", resp.StatusCode)
+	}
+	if resp := do(http.MethodPut, kvURL(srv.URL, "a|b c"), []byte("vv")); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT = %d, want 204", resp.StatusCode)
+	}
+	if body, ok := local.Get("a|b c"); !ok || string(body) != "vv" {
+		t.Fatalf("PUT did not land: %q, %v", body, ok)
+	}
+	if resp := do(http.MethodDelete, kvURL(srv.URL, "a|b c"), nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE = %d, want 405", resp.StatusCode)
+	}
+}

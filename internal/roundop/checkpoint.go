@@ -120,11 +120,6 @@ func runJobsCkpt(ctx context.Context, res *pc.Result, jobs []shardJob, done []bo
 	if workers > len(remaining) {
 		workers = len(remaining)
 	}
-	var cancelled atomic.Bool
-	if ctx.Done() != nil {
-		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
-		defer stop()
-	}
 	tr := obs.FromContext(ctx)
 	facetCtr := tr.Counter("facets")
 	shardCtr := tr.Counter("shards_done")
@@ -143,7 +138,15 @@ func runJobsCkpt(ctx context.Context, res *pc.Result, jobs []shardJob, done []bo
 		go func() {
 			defer wg.Done()
 			for {
-				if cancelled.Load() || firstErr.Load() != nil {
+				// ctx.Err() — not an AfterFunc-maintained flag — so the check
+				// is synchronous with cancel(): once a canceller's cancel()
+				// returns, no worker claims another shard. Combined with the
+				// out channel's backpressure (at most one buffered and one
+				// in-hand result per worker), this bounds how many shards can
+				// complete after a kill, which is what makes the
+				// kill-mid-build checkpoint tests deterministic instead of a
+				// race against the goroutine scheduler.
+				if ctx.Err() != nil || firstErr.Load() != nil {
 					return
 				}
 				j := atomic.AddInt64(&cursor, 1) - 1
@@ -209,10 +212,8 @@ func runJobsCkpt(ctx context.Context, res *pc.Result, jobs []shardJob, done []bo
 	if errp := firstErr.Load(); errp != nil {
 		return *errp
 	}
-	if cancelled.Load() {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return nil
 }

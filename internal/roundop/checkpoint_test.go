@@ -101,6 +101,18 @@ func TestCkptFreshMatchesPlain(t *testing.T) {
 // (a) skips the persisted shards, (b) enumerates strictly fewer facets
 // than the whole product, and (c) lands on the identical CanonicalHash
 // and view count.
+//
+// The kill is deterministic, not a race against the workers: onFlush is
+// a barrier — the collector goroutine is inside Flush while cancel()
+// runs, and the worker claim-loop checks ctx.Err() directly, so by the
+// time cancel() returns no worker can claim another shard. Work already
+// in flight is bounded by channel backpressure (per worker: one result
+// buffered in the out channel plus one in hand), so with 2 workers at
+// most 8 + 2 + 2 + 2 = 14 shards can ever reach the checkpoint — always
+// strictly fewer than the full job list, on any scheduler and any CPU
+// count. (Before this barrier the cancel was delivered via an async
+// context.AfterFunc flag, and on fast single-CPU machines all shards
+// could persist before any worker observed it.)
 func TestCkptResume(t *testing.T) {
 	op := asyncmodel.Params{N: 3, F: 3}.Operator()
 	in := input(3)
@@ -115,10 +127,10 @@ func TestCkptResume(t *testing.T) {
 	defer cancel()
 	ck := &memCkpt{onFlush: func(flushes int) {
 		if flushes == 2 {
-			cancel()
+			cancel() // workers observe this before their next shard claim
 		}
 	}}
-	if _, err := roundop.RoundsParallelCkpt(ctx, op, in, 1, 4, 4, ck); !errors.Is(err, context.Canceled) {
+	if _, err := roundop.RoundsParallelCkpt(ctx, op, in, 1, 2, 4, ck); !errors.Is(err, context.Canceled) {
 		t.Fatalf("killed run returned %v, want context.Canceled", err)
 	}
 	if ck.flushes < 2 {

@@ -150,11 +150,6 @@ func runJobs(ctx context.Context, res *pc.Result, jobs []shardJob, r int, worker
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	var cancelled atomic.Bool
-	if ctx.Done() != nil {
-		stop := context.AfterFunc(ctx, func() { cancelled.Store(true) })
-		defer stop()
-	}
 	facetCtr := obs.FromContext(ctx).Counter("facets")
 	locals := make([]*pc.Result, workers)
 	var cursor int64
@@ -167,7 +162,10 @@ func runJobs(ctx context.Context, res *pc.Result, jobs []shardJob, r int, worker
 		go func(local *pc.Result) {
 			defer wg.Done()
 			for {
-				if cancelled.Load() || firstErr.Load() != nil {
+				// ctx.Err() directly, so cancellation is observed
+				// synchronously: once cancel() returns, no worker claims
+				// another shard (the checkpoint tests rely on this bound).
+				if ctx.Err() != nil || firstErr.Load() != nil {
 					return
 				}
 				j := atomic.AddInt64(&cursor, 1) - 1
@@ -187,10 +185,8 @@ func runJobs(ctx context.Context, res *pc.Result, jobs []shardJob, r int, worker
 	if errp := firstErr.Load(); errp != nil {
 		return *errp
 	}
-	if cancelled.Load() {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	for _, l := range locals {
 		res.Merge(l)

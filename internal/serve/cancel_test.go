@@ -92,22 +92,16 @@ func TestSaturationReturns429(t *testing.T) {
 	if code, _, body := get(t, ts, "/v1/rounds?model=iis&n=2&r=1"); code != 200 {
 		t.Fatalf("warmup: status %d: %v", code, body)
 	}
-	// Wait for the write-behind put to land so the warm path is a disk hit.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if _, _, puts, _ := s.Store().Stats(); puts > 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("warmup entry never persisted")
-		}
-		time.Sleep(10 * time.Millisecond)
+	// The put is synchronous inside the flight: the entry is on disk.
+	if _, _, puts, _ := s.Store().Stats(); puts == 0 {
+		t.Fatal("warmup entry not persisted")
 	}
 
 	// Occupy the single pool slot with a long compute. The warmup already
 	// moved the shared facet counter, so wait for it to move again — that
 	// means the blocker passed admission and holds the slot.
 	facetsWarm := tracker.Counters()["facets"]
+	deadline := time.Now().Add(5 * time.Second)
 	blockerDone := make(chan struct{})
 	go func() {
 		defer close(blockerDone)

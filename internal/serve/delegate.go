@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+)
+
+// hopHeader marks a request that has already been routed once inside
+// the fleet — by the router or by a delegating replica. A server that
+// sees it never forwards again, so a request crosses at most one
+// internal hop and a stale ring can never produce a forwarding loop.
+const hopHeader = "X-Pseudosphere-Hop"
+
+// delegateClient carries replica-to-owner delegations. No client-side
+// timeout: the owner enforces its own RequestTimeout, and the caller's
+// request context cancels the proxy when the client goes away.
+var delegateClient = &http.Client{}
+
+// delegate forwards the original request to the key's owner replica and
+// relays its response verbatim — hits, misses, and the owner's own
+// rejections (429/413 from the owner's admission are authoritative for
+// its keys). It reports false only when the owner could not be reached
+// and nothing was written, in which case the caller computes locally.
+func (s *Server) delegate(w http.ResponseWriter, r *http.Request, owner string) bool {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), nil)
+	if err != nil {
+		s.tracker.Counter("cluster_delegate_errors").Add(1)
+		return false
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(hopHeader, "1")
+	resp, err := delegateClient.Do(req)
+	if err != nil {
+		s.tracker.Counter("cluster_delegate_errors").Add(1)
+		return false
+	}
+	defer resp.Body.Close()
+	s.tracker.Counter("cluster_delegated").Add(1)
+	relayResponse(w, resp)
+	return true
+}
+
+// relayResponse copies a proxied response through: headers, status, and
+// a flush-per-chunk body so SSE streams and long bodies flow instead of
+// buffering.
+func relayResponse(w http.ResponseWriter, resp *http.Response) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(flushWriter{w}, resp.Body) //nolint:errcheck // client disconnects are expected
+}
+
+// flushWriter flushes after every write, keeping proxied event streams
+// live.
+type flushWriter struct{ w http.ResponseWriter }
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}

@@ -60,6 +60,7 @@ func (s *Server) jobRun(ctx context.Context, t *jobs.Task) error {
 		return err
 	}
 	defer s.adm.release()
+	s.tracker.Counter("computes").Add(1)
 	v, err := bq.compute(ctx, t.Ckpt)
 	if err != nil {
 		return err
@@ -226,7 +227,8 @@ func (s *Server) failJob(w http.ResponseWriter, r *http.Request, err error) {
 		writeError(w, http.StatusRequestEntityTooLarge, err)
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.tracker.Counter("rejected_saturated").Add(1)
-		w.Header().Set("Retry-After", "1")
+		queued, _, _ := s.jobs.Stats()
+		setRetryAfter(w, int64(queued), int64(s.cfg.MaxJobs))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, jobs.ErrNotFound):
 		writeError(w, http.StatusNotFound, err)

@@ -1,0 +1,33 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// TestSetRetryAfterScales: the 429 hint grows by one second per
+// pool-width of queue depth and saturates at the cap; a zero slot count
+// (unset MaxJobs) degrades to one-per-queued rather than dividing by
+// zero. Both 429 sites share this helper, so this table is the whole
+// back-pressure dialect.
+func TestSetRetryAfterScales(t *testing.T) {
+	cases := []struct {
+		queued, slots int64
+		want          string
+	}{
+		{queued: 0, slots: 4, want: "1"},
+		{queued: 3, slots: 4, want: "1"},
+		{queued: 4, slots: 4, want: "2"},
+		{queued: 12, slots: 4, want: "4"},
+		{queued: 1000, slots: 4, want: "30"},
+		{queued: 5, slots: 0, want: "6"},
+		{queued: 1000, slots: 0, want: "30"},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		setRetryAfter(rec, tc.queued, tc.slots)
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Errorf("setRetryAfter(queued=%d, slots=%d) = %q, want %q", tc.queued, tc.slots, got, tc.want)
+		}
+	}
+}

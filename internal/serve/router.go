@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"pseudosphere/internal/cluster"
+	"pseudosphere/internal/jobs"
+	"pseudosphere/internal/obs"
+)
+
+// RouterConfig tunes the fleet router.
+type RouterConfig struct {
+	// Replicas is every replica's base URL; the ring is built over them.
+	Replicas []string
+	// VNodes is the per-replica virtual node count (0 = default).
+	VNodes int
+	// HealthInterval paces the background /healthz prober (0 = 2s,
+	// negative disables it — transport failures still mark replicas down).
+	HealthInterval time.Duration
+	// NodeLimit must match the replicas' NodeLimit: the decision
+	// endpoint's canonical key includes the effective node budget, and a
+	// router keying with a different default would route the same request
+	// to a different owner than the one its result is cached on.
+	NodeLimit int64
+	// Tracker receives routing metrics (nil: a fresh one).
+	Tracker *obs.Tracker
+	// Log receives operational lines (nil: the standard logger).
+	Log *log.Logger
+}
+
+// Router is the fleet's front door: it derives each request's canonical
+// key with the same parse path the replicas use, sends the request to
+// the key's owner replica, and fails over to the next ring owner when a
+// replica is down — so every key has one home (one singleflight, one
+// warm cache slot) while any single replica can die without taking the
+// service down. Create with NewRouter, mount Handler, Close on shutdown.
+type Router struct {
+	ring    *cluster.Ring
+	health  *cluster.Health
+	keyer   *Server // key derivation only; its engines never run
+	tracker *obs.Tracker
+	log     *log.Logger
+	mux     *http.ServeMux
+}
+
+// NewRouter builds a Router over the given replicas.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("serve: router needs at least one replica")
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.Tracker == nil {
+		cfg.Tracker = obs.NewTracker()
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.Default()
+	}
+	// The keyer is a store-less, job-less Server used purely for
+	// buildQuery: parameter validation and canonical keys. Only config
+	// that shapes keys (NodeLimit caps the decision endpoint's effective
+	// limit) needs to match the replicas.
+	keyer, err := New(Config{NodeLimit: cfg.NodeLimit, Tracker: cfg.Tracker, Log: cfg.Log})
+	if err != nil {
+		return nil, err
+	}
+	ring := cluster.NewRing(cfg.VNodes)
+	ring.Add(cfg.Replicas...)
+	rt := &Router{
+		ring:    ring,
+		health:  cluster.NewHealth(ring.Nodes(), cfg.HealthInterval),
+		keyer:   keyer,
+		tracker: cfg.Tracker,
+		log:     cfg.Log,
+		mux:     http.NewServeMux(),
+	}
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	for _, ep := range []string{"pseudosphere", "rounds", "connectivity", "decision"} {
+		rt.mux.HandleFunc("GET /v1/"+ep, rt.handleEndpoint(ep))
+	}
+	rt.mux.HandleFunc("POST /v1/jobs", rt.handleJobSubmit)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
+	rt.mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleJob)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/events", rt.handleJob)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/result", rt.handleJob)
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Close stops the health prober and the keyer.
+func (rt *Router) Close() error {
+	rt.health.Close()
+	return rt.keyer.Close()
+}
+
+// handleEndpoint routes a synchronous query by its canonical response
+// key — the identity the replicas cache and singleflight on.
+func (rt *Router) handleEndpoint(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		bq, err := rt.keyer.buildQuery(endpoint, r.URL.Query())
+		if err != nil {
+			rt.tracker.Counter("bad_requests").Add(1)
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		rt.route(w, r, "resp|"+endpoint+"|"+bq.key, nil)
+	}
+}
+
+// handleJobSubmit routes POST /v1/jobs. The job's dedup identity is
+// derived from the spec exactly as the replica's Prepare hook derives
+// it, so a submit, its duplicates, and every later status poll land on
+// the same replica — the fleet keeps the "duplicate submissions join
+// one job" property replicas guarantee locally.
+func (rt *Router) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobBody+1))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("job spec exceeds %d bytes", maxJobBody))
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	spec, err := jobs.ParseSpec(body)
+	if err != nil {
+		rt.tracker.Counter("bad_requests").Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	bq, err := rt.keyer.buildQuery(spec.Endpoint, spec.Values())
+	if err != nil {
+		rt.tracker.Counter("bad_requests").Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id := jobs.IDForKey("resp|" + spec.Endpoint + "|" + bq.key)
+	rt.route(w, r, "job|"+id, body)
+}
+
+// handleJob routes id-addressed job requests. The id alone determines
+// the owner (it is itself derived from the canonical key), so status
+// polls route consistently with the submit that created the job.
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	rt.route(w, r, "job|"+r.PathValue("id"), nil)
+}
+
+// route proxies the request to key's owner, failing over along the ring
+// order — each fallback is the replica that would own the key if the
+// ones before it left the ring. Known-down replicas are tried last, not
+// never: health may be stale, and a fully-down list must not black-hole
+// the request without one real attempt.
+func (rt *Router) route(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	rt.tracker.Counter("routed_requests").Add(1)
+	owners := rt.ring.Owners(key, rt.ring.Len())
+	candidates := make([]string, 0, len(owners))
+	down := make([]string, 0)
+	for _, node := range owners {
+		if rt.health.Up(node) {
+			candidates = append(candidates, node)
+		} else {
+			down = append(down, node)
+		}
+	}
+	candidates = append(candidates, down...)
+
+	var lastErr error
+	for i, node := range candidates {
+		resp, err := rt.forward(node, r, body)
+		if err != nil {
+			// The client vanishing is not a replica failure; stop retrying
+			// and leave the replica's health alone.
+			if r.Context().Err() != nil {
+				return
+			}
+			rt.health.MarkDown(node)
+			rt.tracker.Counter("router_upstream_errors").Add(1)
+			rt.log.Printf("serve: router: %s %s via %s: %v", r.Method, r.URL.Path, node, err)
+			lastErr = err
+			continue
+		}
+		rt.health.MarkUp(node)
+		if i > 0 {
+			rt.tracker.Counter("router_failovers").Add(1)
+		}
+		relayResponse(w, resp)
+		resp.Body.Close()
+		return
+	}
+	rt.tracker.Counter("router_no_replica").Add(1)
+	writeError(w, http.StatusBadGateway, fmt.Errorf("no replica reachable for this request: %w", lastErr))
+}
+
+// forward sends one copy of the request to node. The hop header tells
+// the replica the fleet has already routed this request, so it computes
+// where it lands instead of re-delegating.
+func (rt *Router) forward(node string, r *http.Request, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, node+r.URL.RequestURI(), rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(hopHeader, "1")
+	return delegateClient.Do(req)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{"status":"ok"}`)) //nolint:errcheck
+}
+
+// handleMetrics reports routing counters and the fleet's health view.
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	type replicaInfo struct {
+		URL string `json:"url"`
+		Up  bool   `json:"up"`
+	}
+	nodes := rt.ring.Nodes()
+	replicas := make([]replicaInfo, 0, len(nodes))
+	for _, n := range nodes {
+		replicas = append(replicas, replicaInfo{URL: n, Up: rt.health.Up(n)})
+	}
+	out := struct {
+		Counters map[string]uint64 `json:"counters"`
+		Replicas []replicaInfo     `json:"replicas"`
+	}{Counters: rt.tracker.Counters(), Replicas: replicas}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out) //nolint:errcheck
+}

@@ -33,12 +33,26 @@ import (
 	"sync"
 	"time"
 
+	"pseudosphere/internal/cluster"
 	"pseudosphere/internal/homology"
 	"pseudosphere/internal/jobs"
 	"pseudosphere/internal/obs"
 	"pseudosphere/internal/store"
 	"pseudosphere/internal/task"
 )
+
+// ClusterConfig makes a Server one replica of a fleet. Peers is every
+// replica's base URL (including this one); Self is this replica's entry
+// in that list, as the ring knows it. When set, the server mounts the
+// peer KV endpoint over its local store, wraps the store in the
+// cluster's read-through backend, and delegates cold owned-elsewhere
+// requests to the key's owner so the fleet shares one singleflight per
+// key.
+type ClusterConfig struct {
+	Self   string
+	Peers  []string
+	VNodes int // per-replica virtual nodes (0 = cluster.DefaultVirtualNodes)
+}
 
 // Config tunes the service; zero values select the documented defaults.
 type Config struct {
@@ -79,6 +93,9 @@ type Config struct {
 	// batched per checkpoint flush (0 = 8). Smaller loses less work to a
 	// kill; larger amortizes the fsync better.
 	JobCheckpointEvery int
+	// Cluster enrolls this server as a replica of a fleet (nil: standalone).
+	// It requires StoreDir — the fleet protocol is about sharing that tier.
+	Cluster *ClusterConfig
 	// DisableMorse turns off the homology engines' coreduction
 	// preprocessing (see homology.Engine.DisableMorse); results are
 	// identical either way, so this is a triage/benchmark switch.
@@ -130,7 +147,7 @@ func (c *Config) fill() {
 type Server struct {
 	cfg     Config
 	tracker *obs.Tracker
-	store   *store.Store // nil when disk caching is disabled
+	store   store.Backend // nil when disk caching is disabled
 	betti   *homology.Cache
 	engine  *homology.Engine
 	flights *flightGroup
@@ -138,27 +155,19 @@ type Server struct {
 	mux     *http.ServeMux
 	jobs    *jobs.Manager // nil when the job API is disabled
 
+	// Fleet state, nil/empty when standalone: ring maps canonical keys to
+	// owner replicas, rt is the read-through view of the store (also
+	// reachable as s.store), and self is this replica's ring identity.
+	ring *cluster.Ring
+	rt   *cluster.ReadThrough
+	self string
+
 	// hardStop cancels every in-flight compute when a drain deadline is
 	// exceeded; see Abort.
 	hardStop context.Context
 	abort    context.CancelFunc
 
-	// Write-behind queue for response-store puts: persisting a response
-	// is off the request path, and Close drains what is pending (the
-	// "flush" of graceful shutdown). A full or closed queue falls back to
-	// a synchronous put rather than dropping warmth; putMu/putClosed keep
-	// a compute that finishes during a hard abort from sending on the
-	// closed channel.
-	putq      chan putReq
-	putMu     sync.RWMutex
-	putClosed bool
-	putDone   sync.WaitGroup
 	closeOnce sync.Once
-}
-
-type putReq struct {
-	key  string
-	body []byte
 }
 
 // New builds a Server from cfg, opening the disk store when configured.
@@ -171,21 +180,31 @@ func New(cfg Config) (*Server, error) {
 		flights: newFlightGroup(),
 		adm:     newAdmission(cfg.Pool, cfg.Queue),
 		mux:     http.NewServeMux(),
-		putq:    make(chan putReq, 256),
 	}
 	s.hardStop, s.abort = context.WithCancel(context.Background())
+	if cfg.Cluster != nil && cfg.StoreDir == "" {
+		return nil, errors.New("serve: Cluster requires StoreDir (the fleet shares the disk tier)")
+	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir)
 		if err != nil {
 			return nil, err
 		}
 		s.store = st
-		s.betti.SetBacking(bettiBacking{st: st})
+		if cc := cfg.Cluster; cc != nil {
+			s.ring = cluster.NewRing(cc.VNodes)
+			s.ring.Add(cc.Peers...)
+			s.self = cc.Self
+			s.rt = cluster.NewReadThrough(st, s.ring, cc.Self, s.tracker)
+			s.store = s.rt
+			// Peers read and push through the raw disk tier — handing them
+			// the read-through view would bounce a miss back and forth.
+			s.mux.Handle(cluster.KVPath, cluster.KVHandler(st))
+		}
+		s.betti.SetBacking(bettiBacking{st: s.store})
 	}
 	s.engine = homology.NewEngine(cfg.Workers, s.betti)
 	s.engine.DisableMorse = cfg.DisableMorse
-	s.putDone.Add(1)
-	go s.putLoop()
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -229,8 +248,9 @@ func New(cfg Config) (*Server, error) {
 // shutdownOnError unwinds the partially built server when New fails after
 // starting its background work.
 func (s *Server) shutdownOnError() {
-	close(s.putq)
-	s.putDone.Wait()
+	if s.rt != nil {
+		s.rt.Close()
+	}
 	s.abort()
 }
 
@@ -240,16 +260,18 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Tracker returns the metrics tracker (for expvar publication and tests).
 func (s *Server) Tracker() *obs.Tracker { return s.tracker }
 
-// Store returns the disk store, or nil when disabled.
-func (s *Server) Store() *store.Store { return s.store }
+// Store returns the response-store backend — the local disk store, or
+// its cluster read-through wrapper on a fleet replica; nil when disabled.
+func (s *Server) Store() store.Backend { return s.store }
 
 // Abort cancels every in-flight compute; call it only when a graceful
 // drain has exceeded its deadline.
 func (s *Server) Abort() { s.abort() }
 
-// Close flushes the pending response-store writes and logs final cache
-// statistics. Call after the HTTP server has drained; the server must not
-// receive requests afterwards. Close is idempotent.
+// Close logs final cache statistics and, on a fleet replica, flushes the
+// pending cross-replica owner pushes. Call after the HTTP server has
+// drained; the server must not receive requests afterwards. Close is
+// idempotent.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		// The job manager goes first: it cancels running jobs (which flush
@@ -258,11 +280,12 @@ func (s *Server) Close() error {
 		if s.jobs != nil {
 			s.jobs.Close()
 		}
-		s.putMu.Lock()
-		s.putClosed = true
-		s.putMu.Unlock()
-		close(s.putq)
-		s.putDone.Wait()
+		// Responses persist synchronously inside their flight, so by the
+		// time the HTTP server has drained every put has landed in the
+		// read-through; its Close flushes the remaining owner pushes.
+		if s.rt != nil {
+			s.rt.Close()
+		}
 		s.abort()
 		if s.store != nil {
 			hits, misses, puts, evictions := s.store.Stats()
@@ -274,34 +297,19 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// putLoop persists responses in the background.
-func (s *Server) putLoop() {
-	defer s.putDone.Done()
-	for req := range s.putq {
-		if err := s.store.Put(req.key, req.body); err != nil {
-			s.cfg.Log.Printf("serve: store put: %v", err)
-		}
-	}
-}
-
-// persist enqueues a response-store write, falling back to a synchronous
-// put when the queue is full — or already closed: Abort-style shutdown
-// (httpSrv.Close) does not wait for handler goroutines, so a compute that
-// succeeds just before Close may persist concurrently with close(putq).
+// persist writes a computed response to the store synchronously, INSIDE
+// the response flight: the flight entry is deleted the moment the
+// compute returns, so a request arriving right after the last waiter
+// departs must find the store warm — with a write-behind gap there it
+// starts a duplicate compute (observed as 2x computes under concurrent
+// identical load on one CPU). The put is a local temp+rename of
+// already-marshalled bytes, noise next to the compute that produced
+// them; cross-replica owner pushes stay write-behind inside the cluster
+// backend, which drops (and counts) pushes arriving after its Close.
 func (s *Server) persist(key string, body []byte) {
 	if s.store == nil {
 		return
 	}
-	s.putMu.RLock()
-	if !s.putClosed {
-		select {
-		case s.putq <- putReq{key: key, body: body}:
-			s.putMu.RUnlock()
-			return
-		default:
-		}
-	}
-	s.putMu.RUnlock()
 	if err := s.store.Put(key, body); err != nil {
 		s.cfg.Log.Printf("serve: store put: %v", err)
 	}
@@ -311,7 +319,7 @@ func (s *Server) persist(key string, body []byte) {
 // seam: Betti vectors keyed by complex canonical hash survive restarts
 // and are shared across every endpoint and parameter tuple that builds a
 // hash-identical complex.
-type bettiBacking struct{ st *store.Store }
+type bettiBacking struct{ st store.Backend }
 
 func (b bettiBacking) Get(key string) ([]int, bool) {
 	raw, ok := b.st.Get("betti-z2|" + key)
@@ -377,6 +385,22 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint, ke
 	}
 	s.tracker.Counter("resp_store_misses").Add(1)
 
+	// Fleet replicas delegate a cold key they do not own to its owner, so
+	// concurrent cold requests landing on different replicas still
+	// collapse in ONE refcounted singleflight — the owner's. The hop
+	// header caps forwarding at one hop: the router and delegating
+	// replicas both set it, so a forwarded request computes where it
+	// lands (the failover path when the owner is dying between checks).
+	if s.ring != nil && r.Header.Get(hopHeader) == "" {
+		if owner := s.ring.Owner(respKey); owner != "" && owner != s.self {
+			if s.delegate(w, r, owner) {
+				return
+			}
+			// Owner unreachable: compute here; persist() will push the
+			// result to wherever the key belongs.
+		}
+	}
+
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
 		s.fail(w, r, endpoint, err)
@@ -389,6 +413,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint, ke
 			return nil, err
 		}
 		defer s.adm.release()
+		s.tracker.Counter("computes").Add(1)
 		v, err := compute(cctx)
 		if err != nil {
 			return nil, err
@@ -421,7 +446,8 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, endpoint string, e
 		writeError(w, http.StatusBadRequest, err)
 	case errors.Is(err, errSaturated):
 		s.tracker.Counter("rejected_saturated").Add(1)
-		w.Header().Set("Retry-After", "1")
+		_, queued := s.adm.load()
+		setRetryAfter(w, queued, int64(s.cfg.Pool))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, errBudget):
 		s.tracker.Counter("rejected_budget").Add(1)
@@ -447,6 +473,27 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, endpoint string, e
 // statusClientClosedRequest is nginx's conventional code for a client
 // that disconnected before the response was ready.
 const statusClientClosedRequest = 499
+
+// maxRetryAfter caps the 429 back-off hint; past this, more waiting says
+// "shed elsewhere", not "queue deeper".
+const maxRetryAfter = 30
+
+// setRetryAfter writes a Retry-After hint that scales with how deep the
+// backlog actually is: an idle queue says retry in a second, a queue k
+// pool-widths deep says wait ~k more seconds — each pool-width of queue
+// is roughly one extra drain cycle. Both 429 sites (compute admission
+// and the job queue) share this, so clients see one consistent
+// back-pressure dialect.
+func setRetryAfter(w http.ResponseWriter, queued, slots int64) {
+	if slots <= 0 {
+		slots = 1
+	}
+	secs := 1 + queued/slots
+	if secs > maxRetryAfter {
+		secs = maxRetryAfter
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
 
 // errBudget marks admission rejections of oversized requests.
 var errBudget = errors.New("request exceeds the service work budget")
@@ -492,6 +539,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Running int `json:"running"`
 		Total   int `json:"total"`
 	}
+	type clusterInfo struct {
+		Self  string   `json:"self"`
+		Peers []string `json:"peers"`
+	}
 	out := struct {
 		Counters   map[string]uint64 `json:"counters"`
 		Store      *cacheStats       `json:"store,omitempty"`
@@ -499,7 +550,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Running    int64             `json:"computes_running"`
 		Queued     int64             `json:"computes_queued"`
 		Jobs       *jobStats         `json:"jobs,omitempty"`
+		Cluster    *clusterInfo      `json:"cluster,omitempty"`
 	}{Counters: s.tracker.Counters()}
+	if s.ring != nil {
+		out.Cluster = &clusterInfo{Self: s.self, Peers: s.ring.Nodes()}
+	}
 	if s.jobs != nil {
 		q, r, t := s.jobs.Stats()
 		out.Jobs = &jobStats{Queued: q, Running: r, Total: t}

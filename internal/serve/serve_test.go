@@ -196,22 +196,14 @@ func TestResponseStoreHitOnRepeat(t *testing.T) {
 	if code != 200 || cache1 != "miss" {
 		t.Fatalf("first call: status %d, X-Cache %q", code, cache1)
 	}
-	// Persistence is write-behind, so poll briefly for the entry to land.
-	var body2 map[string]any
-	var cache2 string
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		code, cache2, body2 = get(t, ts, path)
-		if code != 200 {
-			t.Fatalf("second call: status %d: %v", code, body2)
-		}
-		if cache2 == "hit" || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
+	// Responses persist synchronously inside their flight, so the second
+	// call is deterministically a disk hit.
+	code, cache2, body2 := get(t, ts, path)
+	if code != 200 {
+		t.Fatalf("second call: status %d: %v", code, body2)
 	}
 	if cache2 != "hit" {
-		t.Fatalf("second call never hit the store (last X-Cache %q)", cache2)
+		t.Fatalf("second call: X-Cache %q, want hit", cache2)
 	}
 	if fmt.Sprint(body1) != fmt.Sprint(body2) {
 		t.Fatalf("hit body differs from miss body:\n%v\n%v", body1, body2)
@@ -237,7 +229,7 @@ func TestStoreSurvivesRestart(t *testing.T) {
 	ts1 := httptest.NewServer(s1.Handler())
 	_, cache1, body1 := get(t, ts1, path)
 	ts1.Close()
-	s1.Close() // flush the write-behind queue before the next process opens
+	s1.Close()
 	if cache1 != "miss" {
 		t.Fatalf("first process: X-Cache %q, want miss", cache1)
 	}
@@ -355,9 +347,9 @@ func TestGFpValidatedAtParse(t *testing.T) {
 	}
 }
 
-// TestPersistAfterClose pins the REVIEW fix: a compute that finishes
-// after Close (the hard-abort path does not wait for handler goroutines)
-// must fall back to a synchronous put, not panic on the closed queue.
+// TestPersistAfterClose: a compute that finishes after Close (the
+// hard-abort path does not wait for handler goroutines) must still land
+// its response in the store, not panic.
 func TestPersistAfterClose(t *testing.T) {
 	s := newTestServer(t, t.TempDir(), nil)
 	s.Close()

@@ -36,6 +36,23 @@ const headerSize = 8 + 8 + sha256.Size
 // corrupt length field cannot ask for petabytes.
 const maxPayload = 1 << 32
 
+// Backend is the pluggable face of the result tier: anything that can
+// answer key → payload lookups and accept writes. *Store is the local
+// disk implementation; internal/cluster wraps one in a read-through
+// backend that fills misses from the key's owner replica, so the query
+// service is written against this interface and does not care whether a
+// byte came from its own disk or a peer's.
+//
+// Get must never return wrong bytes — a corrupt or unreachable entry is
+// a miss. Stats reports Get hits/misses, completed Puts, and corrupt
+// entries evicted; Len counts entries (may be O(entries), metrics only).
+type Backend interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, payload []byte) error
+	Stats() (hits, misses, puts, evictions uint64)
+	Len() int
+}
+
 // Store is a content-addressed cache rooted at one directory. The zero
 // value is not usable; call Open.
 type Store struct {
@@ -46,6 +63,8 @@ type Store struct {
 	puts      atomic.Uint64
 	evictions atomic.Uint64
 }
+
+var _ Backend = (*Store)(nil)
 
 // Open creates (if needed) and returns the store rooted at dir.
 func Open(dir string) (*Store, error) {
