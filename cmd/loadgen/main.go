@@ -21,6 +21,14 @@
 // E18) shows what the job indirection costs when the work is small and
 // what it buys when the work is not.
 //
+// With -inline-spec each model-endpoint draw is issued as the POST form
+// instead: the model parameters become an inline preset-form spec body
+// ({"model": {"name": ..., "params": {...}}}), the task parameters ride
+// in "params". The canonical keys are form-independent, so a -inline-spec
+// run against a store warmed by a plain run is all hits — which is the
+// property the flag exists to measure. Queries with no model (the
+// pseudosphere endpoint) fall back to GET.
+//
 // With -targets (comma-separated base URLs) the workload is spread
 // round-robin across several endpoints — fleet routers, or replicas
 // addressed directly — and the report breaks hit rates out per target.
@@ -40,6 +48,7 @@ import (
 	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -96,6 +105,7 @@ func realMain(args []string) int {
 	zipfS := fs.Float64("zipf-s", 1.2, "Zipf exponent over the query universe (>1)")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	asyncMode := fs.Bool("async", false, "drive the job API (submit, poll, fetch result) instead of synchronous GETs")
+	inlineSpec := fs.Bool("inline-spec", false, "issue model queries as POST inline-spec bodies instead of GETs")
 	pollEvery := fs.Duration("poll-interval", 20*time.Millisecond, "job status poll interval in -async mode")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -148,7 +158,13 @@ func realMain(args []string) int {
 					s = runJob(client, j.target, j.query, *pollEvery)
 				} else {
 					t0 := time.Now()
-					resp, err := client.Get(j.target + j.query)
+					var resp *http.Response
+					var err error
+					if path, body, ok := inlineBody(j.query); *inlineSpec && ok {
+						resp, err = client.Post(j.target+path, "application/json", strings.NewReader(string(body)))
+					} else {
+						resp, err = client.Get(j.target + j.query)
+					}
 					s.latency = time.Since(t0)
 					if err == nil {
 						io.Copy(io.Discard, resp.Body) //nolint:errcheck
@@ -177,6 +193,55 @@ func realMain(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// modelParamNames are the query parameters that belong to the model
+// tuple; everything else on a model endpoint is a task parameter.
+var modelParamNames = map[string]bool{
+	"n": true, "m": true, "f": true, "k": true,
+	"c1": true, "c2": true, "d": true, "r": true,
+}
+
+// inlineBody converts a model-endpoint GET query into the equivalent
+// POST inline-spec body: the model name and its integer parameters as a
+// preset-form spec, the remaining parameters under "params". Queries
+// without a model= parameter (the pseudosphere endpoint) report !ok and
+// stay GETs.
+func inlineBody(q string) (path string, body []byte, ok bool) {
+	u, err := url.Parse(q)
+	if err != nil {
+		return "", nil, false
+	}
+	vals := u.Query()
+	name := vals.Get("model")
+	if name == "" {
+		return "", nil, false
+	}
+	params := map[string]int{}
+	rest := map[string]string{}
+	for k, vs := range vals {
+		if k == "model" || len(vs) == 0 {
+			continue
+		}
+		if modelParamNames[k] {
+			v, err := strconv.Atoi(vs[0])
+			if err != nil {
+				return "", nil, false
+			}
+			params[k] = v
+		} else {
+			rest[k] = vs[0]
+		}
+	}
+	doc := map[string]any{"model": map[string]any{"name": name, "params": params}}
+	if len(rest) > 0 {
+		doc["params"] = rest
+	}
+	body, err = json.Marshal(doc)
+	if err != nil {
+		return "", nil, false
+	}
+	return u.Path, body, true
 }
 
 // specOf converts a synchronous query path ("/v1/rounds?model=...") into

@@ -43,6 +43,37 @@ func TestLoadgenSync(t *testing.T) {
 	}
 }
 
+// TestLoadgenInlineSpec drives the same seeded workload twice — plain
+// GETs to warm the store, then the POST inline-spec form — and the exit
+// code pins that every converted request succeeded against a server that
+// resolves both forms to the same canonical keys.
+func TestLoadgenInlineSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("issues real queries")
+	}
+	ts := newTarget(t)
+	if code := realMain([]string{"-target", ts.URL, "-requests", "12", "-concurrency", "3", "-seed", "7"}); code != 0 {
+		t.Fatalf("warming run: exit %d, want 0", code)
+	}
+	if code := realMain([]string{"-target", ts.URL, "-requests", "12", "-concurrency", "3", "-seed", "7", "-inline-spec"}); code != 0 {
+		t.Fatalf("inline-spec run: exit %d, want 0", code)
+	}
+}
+
+func TestInlineBody(t *testing.T) {
+	path, body, ok := inlineBody("/v1/decision?model=sync&n=2&k=1&r=1&agree=1")
+	if !ok || path != "/v1/decision" {
+		t.Fatalf("path %q ok=%v", path, ok)
+	}
+	want := `{"model":{"name":"sync","params":{"k":1,"n":2,"r":1}},"params":{"agree":"1"}}`
+	if string(body) != want {
+		t.Fatalf("body %s, want %s", body, want)
+	}
+	if _, _, ok := inlineBody("/v1/pseudosphere?n=2&values=0,1"); ok {
+		t.Fatal("model-less query converted; it must stay a GET")
+	}
+}
+
 func TestLoadgenAsync(t *testing.T) {
 	if testing.Short() {
 		t.Skip("issues real queries")

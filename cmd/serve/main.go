@@ -13,7 +13,11 @@
 //	GET /v1/rounds?model=async&n=2&f=1&r=1
 //	GET /v1/connectivity?model=sync&n=3&k=1&r=2&field=z2
 //	GET /v1/decision?model=async&n=2&f=1&r=1&agree=2&values=0,1
+//	POST /v1/rounds                  {"model":{"processes":3,"adversary":{...}},"params":{...}}
+//	POST /v1/connectivity            same inline-spec body form
+//	POST /v1/decision                same inline-spec body form
 //	POST /v1/jobs                    {"endpoint":"rounds","params":{"model":"async","n":"4","f":"2","r":"1"}}
+//	                                 or {"endpoint":"rounds","model":{...inline spec...}}
 //	GET /v1/jobs/{id}                status + live progress
 //	GET /v1/jobs/{id}/events         server-sent status events
 //	GET /v1/jobs/{id}/result         the payload once done (202 while not)

@@ -39,6 +39,15 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// DegenerateInput reports the Section 6 convention that the round
+// complex over an m-dimensional input face is empty: with fewer than
+// n-f+1 participants, no process can collect the n-f+1 messages
+// (including its own) it must wait for, so P(S^m) is empty for m < n-f.
+// The construction entry points below apply it, and the model registry
+// (internal/modelspec) exposes it so no serving layer needs a
+// per-model check.
+func (p Params) DegenerateInput(m int) bool { return m < p.N-p.F }
+
 // OneRound returns A^1(S): the complex of one-round executions starting
 // from input simplex S in which every participant hears from itself and at
 // least n-f other participants. If S has fewer than n-f+1 vertices the
@@ -57,7 +66,7 @@ func OneRound(input topology.Simplex, p Params) (*pc.Result, error) {
 // when the input has too few participants.
 func oneRoundOptions(cur []*views.View, p Params) [][]pc.Option {
 	m := len(cur) - 1
-	if m < p.N-p.F {
+	if p.DegenerateInput(m) {
 		return nil
 	}
 	opts := make([][]pc.Option, len(cur))
@@ -94,7 +103,7 @@ func Rounds(input topology.Simplex, p Params, r int) (*pc.Result, error) {
 	if r < 0 {
 		return nil, fmt.Errorf("asyncmodel: negative round count %d", r)
 	}
-	if len(input)-1 < p.N-p.F {
+	if p.DegenerateInput(len(input) - 1) {
 		return pc.NewResult(), nil
 	}
 	return roundop.Rounds(p.Operator(), input, r)

@@ -21,7 +21,7 @@ func LegacySerialRounds(input topology.Simplex, p Params, r int) (*pc.Result, er
 		return nil, fmt.Errorf("asyncmodel: negative round count %d", r)
 	}
 	res := pc.NewResult()
-	if len(input)-1 < p.N-p.F {
+	if p.DegenerateInput(len(input) - 1) {
 		return res, nil
 	}
 	legacyRoundsRec(res, pc.InputViews(input), p, r)

@@ -39,7 +39,7 @@ func RoundsParallelCtx(ctx context.Context, input topology.Simplex, p Params, r 
 	if r < 0 {
 		return nil, fmt.Errorf("asyncmodel: negative round count %d", r)
 	}
-	if len(input)-1 < p.N-p.F {
+	if p.DegenerateInput(len(input) - 1) {
 		return pc.NewResult(), nil
 	}
 	return roundop.RoundsParallelCtx(ctx, p.Operator(), input, r, workers)

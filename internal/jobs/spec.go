@@ -34,10 +34,16 @@ const (
 
 // Spec is the client-submitted description of an async job: which
 // endpoint's computation to run and its parameters, under the same names
-// the synchronous GET endpoint accepts.
+// the synchronous GET endpoint accepts. Model optionally carries an
+// inline model-spec document (internal/modelspec JSON) in place of the
+// params' model= preset selection; it stays raw here — the job subsystem
+// is deliberately ignorant of what a job computes, so the service's
+// Prepare/Run hooks parse and compile it, and persistence round-trips it
+// byte for byte.
 type Spec struct {
 	Endpoint string            `json:"endpoint"`
 	Params   map[string]string `json:"params,omitempty"`
+	Model    json.RawMessage   `json:"model,omitempty"`
 }
 
 // SpecError marks a malformed job submission; the service maps it to
@@ -95,6 +101,9 @@ func (s Spec) validate() error {
 		if len(v) > maxParamValLen {
 			return specErr("parameter %s value of %d bytes exceeds the %d limit", k, len(v), maxParamValLen)
 		}
+	}
+	if len(s.Model) > maxSpecBytes {
+		return specErr("model spec of %d bytes exceeds the %d limit", len(s.Model), maxSpecBytes)
 	}
 	return nil
 }

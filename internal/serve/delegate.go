@@ -22,11 +22,18 @@ var delegateClient = &http.Client{}
 // its keys). It reports false only when the owner could not be reached
 // and nothing was written, in which case the caller computes locally.
 func (s *Server) delegate(w http.ResponseWriter, r *http.Request, owner string) bool {
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), nil)
+	// POST bodies (inline model specs) must travel with the delegation;
+	// the POST handler restored r.Body after consuming it for keying.
+	var rd io.Reader
+	if r.ContentLength > 0 {
+		rd = r.Body
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), rd)
 	if err != nil {
 		s.tracker.Counter("cluster_delegate_errors").Add(1)
 		return false
 	}
+	req.ContentLength = r.ContentLength
 	req.Header = r.Header.Clone()
 	req.Header.Set(hopHeader, "1")
 	resp, err := delegateClient.Do(req)

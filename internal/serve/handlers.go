@@ -1,8 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"sort"
@@ -11,8 +15,8 @@ import (
 	"pseudosphere/internal/core"
 	"pseudosphere/internal/homology"
 	"pseudosphere/internal/jobs"
+	"pseudosphere/internal/modelspec"
 	"pseudosphere/internal/pc"
-	"pseudosphere/internal/roundop"
 	"pseudosphere/internal/task"
 	"pseudosphere/internal/topology"
 )
@@ -50,19 +54,24 @@ type endpointQuery struct {
 	compute func(ctx context.Context, ck *jobs.CheckpointLog) (any, error)
 }
 
-// buildQuery validates q for the named endpoint and returns its query
-// plan. It is the single parse-and-plan path shared by the GET handlers
-// and the job subsystem's Prepare/Run hooks.
-func (s *Server) buildQuery(endpoint string, q url.Values) (endpointQuery, error) {
+// buildQuery validates q (plus an optional inline model spec) for the
+// named endpoint and returns its query plan. It is the single
+// parse-and-plan path shared by the GET handlers, the POST inline-spec
+// handlers, the job subsystem's Prepare/Run hooks, and the cluster
+// router's key shaping.
+func (s *Server) buildQuery(endpoint string, q url.Values, spec *modelspec.Spec) (endpointQuery, error) {
 	switch endpoint {
 	case "pseudosphere":
+		if spec != nil {
+			return endpointQuery{}, badRequest("endpoint pseudosphere does not take a model spec")
+		}
 		return s.buildPseudosphere(q)
 	case "rounds":
-		return s.buildRounds(q)
+		return s.buildRounds(q, spec)
 	case "connectivity":
-		return s.buildConnectivity(q)
+		return s.buildConnectivity(q, spec)
 	case "decision":
-		return s.buildDecision(q)
+		return s.buildDecision(q, spec)
 	default:
 		return endpointQuery{}, badRequest("unknown endpoint %q (want pseudosphere, rounds, connectivity, or decision)", endpoint)
 	}
@@ -72,11 +81,94 @@ func (s *Server) buildQuery(endpoint string, q url.Values) (endpointQuery, error
 // spine.
 func (s *Server) handleEndpoint(endpoint string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		bq, err := s.buildQuery(endpoint, r.URL.Query())
+		bq, err := s.buildQuery(endpoint, r.URL.Query(), nil)
 		if err != nil {
 			s.fail(w, r, endpoint, err)
 			return
 		}
+		s.serveQuery(w, r, endpoint, bq.key, func(ctx context.Context) (any, error) {
+			return bq.compute(ctx, nil)
+		})
+	}
+}
+
+// inlineRequest is the POST body of the model endpoints: an inline model
+// spec plus the endpoint's other parameters under their query names —
+// the same shape a job spec uses, minus the endpoint (which is the URL).
+type inlineRequest struct {
+	Model  json.RawMessage   `json:"model"`
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// parseInlineBody decodes a POST body into the query values and model
+// spec buildQuery consumes. The server and the fleet router share it, so
+// both derive identical canonical keys from the same bytes.
+func parseInlineBody(body []byte) (url.Values, *modelspec.Spec, error) {
+	if len(body) == 0 {
+		return nil, nil, badRequest(`empty body; POST {"model": {...}, "params": {...}}`)
+	}
+	var req inlineRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, badRequest("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return nil, nil, badRequest("trailing data after the request body")
+	}
+	if len(req.Model) == 0 {
+		return nil, nil, badRequest(`request body has no "model" spec`)
+	}
+	spec, err := modelspec.Parse(req.Model)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := make(url.Values, len(req.Params))
+	for k, v := range req.Params {
+		q.Set(k, v)
+	}
+	return q, spec, nil
+}
+
+// readBody reads a bounded request body; oversized bodies map to 413.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, overBudget("request body exceeds %d bytes", maxJobBody)
+		}
+		return nil, badRequest("reading request body: %v", err)
+	}
+	return body, nil
+}
+
+// handleEndpointPost adapts an endpoint's query plan to the POST form:
+// the body carries an inline model spec, and the canonical key it
+// compiles to is the same identity the GET spine caches, delegates, and
+// singleflights on — so a spec equivalent to a preset hits the preset's
+// cache entries.
+func (s *Server) handleEndpointPost(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(w, r)
+		if err != nil {
+			s.fail(w, r, endpoint, err)
+			return
+		}
+		q, spec, err := parseInlineBody(body)
+		if err != nil {
+			s.fail(w, r, endpoint, err)
+			return
+		}
+		bq, err := s.buildQuery(endpoint, q, spec)
+		if err != nil {
+			s.fail(w, r, endpoint, err)
+			return
+		}
+		// Ring delegation re-sends this request to the key's owner; restore
+		// the consumed body so the forwarded copy carries it.
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
 		s.serveQuery(w, r, endpoint, bq.key, func(ctx context.Context) (any, error) {
 			return bq.compute(ctx, nil)
 		})
@@ -123,8 +215,8 @@ func (s *Server) buildPseudosphere(q url.Values) (endpointQuery, error) {
 		return endpointQuery{}, err
 	}
 	values, err := qValues(q)
-	if err == nil && (n < 0 || n > maxN) {
-		err = badRequest("n=%d out of range [0, %d]", n, maxN)
+	if err == nil && (n < 0 || n > modelspec.MaxN) {
+		err = badRequest("n=%d out of range [0, %d]", n, modelspec.MaxN)
 	}
 	if err != nil {
 		return endpointQuery{}, err
@@ -175,60 +267,68 @@ func (s *Server) buildPseudosphere(q url.Values) (endpointQuery, error) {
 	}, nil
 }
 
+// priceConstruction prices inst over input: the arithmetic insertion
+// floor first — for a graphs adversary the EstimateFacets walk is itself
+// as large as the answer, so an absurd spec must be refused without
+// walking it — then the exact estimate.
+func (s *Server) priceConstruction(inst *modelspec.Instance, input topology.Simplex) (int64, error) {
+	if floor := inst.InsertionFloor(); floor > s.cfg.MaxFacets {
+		return floor, overBudget("%s has at least %d facet insertions, budget %d", inst.Key, floor, s.cfg.MaxFacets)
+	}
+	return inst.Estimate(input)
+}
+
 // admitConstruction prices the construction with the roundop seam and
 // rejects it if it exceeds the facet budget.
-func (s *Server) admitConstruction(mp modelParams) (int64, error) {
-	est, err := roundop.EstimateFacets(mp.operator(), inputSimplex(mp.m), mp.r)
+func (s *Server) admitConstruction(inst *modelspec.Instance) (int64, error) {
+	est, err := s.priceConstruction(inst, inputSimplex(inst.M))
 	if err != nil {
 		return 0, err
 	}
 	if est > s.cfg.MaxFacets {
-		return est, overBudget("%s estimates %d facet insertions, budget %d", mp.key(), est, s.cfg.MaxFacets)
+		return est, overBudget("%s estimates %d facet insertions, budget %d", inst.Key, est, s.cfg.MaxFacets)
 	}
 	return est, nil
 }
 
 // buildRounds serves the r-round complex R^r(S^m) of a model.
-func (s *Server) buildRounds(q url.Values) (endpointQuery, error) {
-	mp, err := parseModelParams(q)
+func (s *Server) buildRounds(q url.Values, spec *modelspec.Spec) (endpointQuery, error) {
+	inst, err := resolveModel(q, spec)
 	if err != nil {
 		return endpointQuery{}, err
 	}
 	return endpointQuery{
-		key:   mp.key(),
-		price: func() error { _, err := s.admitConstruction(mp); return err },
+		key:   inst.Key,
+		price: func() error { _, err := s.admitConstruction(inst); return err },
 		compute: func(ctx context.Context, ck *jobs.CheckpointLog) (any, error) {
-			est, err := s.admitConstruction(mp)
+			est, err := s.admitConstruction(inst)
 			if err != nil {
 				return nil, err
 			}
-			res, err := s.buildModel(ctx, mp, inputSimplex(mp.m), ck)
+			res, err := s.buildModel(ctx, inst, inputSimplex(inst.M), ck)
 			if err != nil {
 				return nil, err
 			}
 			return struct {
-				Model           string       `json:"model"`
-				Params          modelJSON    `json:"params"`
-				EstimatedFacets int64        `json:"estimated_facet_insertions"`
-				Complex         complexStats `json:"complex"`
-				Views           int          `json:"views"`
-			}{mp.model, mp.json(), est, statsOf(res.Complex), len(res.Views)}, nil
+				Model           string               `json:"model"`
+				Params          modelspec.ParamsJSON `json:"params"`
+				EstimatedFacets int64                `json:"estimated_facet_insertions"`
+				Complex         complexStats         `json:"complex"`
+				Views           int                  `json:"views"`
+			}{inst.Model, inst.Params, est, statsOf(res.Complex), len(res.Views)}, nil
 		},
 	}, nil
 }
 
 // buildModel constructs the r-round complex, checkpointing at roundop
-// shard boundaries when a job checkpoint log is attached.
-func (s *Server) buildModel(ctx context.Context, mp modelParams, input topology.Simplex, ck *jobs.CheckpointLog) (*pc.Result, error) {
+// shard boundaries when a job checkpoint log is attached. Model
+// conventions (like async's empty-below-threshold inputs) live in the
+// compiled instance — serve has no per-model checks.
+func (s *Server) buildModel(ctx context.Context, inst *modelspec.Instance, input topology.Simplex, ck *jobs.CheckpointLog) (*pc.Result, error) {
 	if ck == nil {
-		return mp.build(ctx, input, s.cfg.Workers)
+		return inst.Build(ctx, input, s.cfg.Workers)
 	}
-	// The model wrappers validated params at parse time; the only extra
-	// semantic they add on this path is asyncmodel's short-input guard.
-	if mp.model == "async" && len(input)-1 < mp.n-mp.f {
-		return pc.NewResult(), nil
-	}
-	return roundop.RoundsParallelCkpt(ctx, mp.operator(), input, mp.r, s.cfg.Workers, s.cfg.JobCheckpointEvery, ck)
+	return inst.BuildCkpt(ctx, input, s.cfg.Workers, s.cfg.JobCheckpointEvery, ck)
 }
 
 // buildConnectivity serves Betti numbers and connectivity of a model's
@@ -239,8 +339,8 @@ func (s *Server) buildModel(ctx context.Context, mp modelParams, input topology.
 // k: the response then reports Betti numbers 0..k and min(connectivity, k)
 // — top-dimensional boundary matrices are never reduced, which is the
 // cheap way to ask "is this complex at least k-connected?".
-func (s *Server) buildConnectivity(q url.Values) (endpointQuery, error) {
-	mp, err := parseModelParams(q)
+func (s *Server) buildConnectivity(q url.Values, spec *modelspec.Spec) (endpointQuery, error) {
+	inst, err := resolveModel(q, spec)
 	if err != nil {
 		return endpointQuery{}, err
 	}
@@ -279,7 +379,7 @@ func (s *Server) buildConnectivity(q url.Values) (endpointQuery, error) {
 	default:
 		return endpointQuery{}, badRequest("unknown field %q (want z2, gfp, or q)", field)
 	}
-	key := mp.key() + "|field=" + field
+	key := inst.Key + "|field=" + field
 	if field == "gfp" {
 		key += "|p=" + strconv.Itoa(p)
 	}
@@ -288,12 +388,12 @@ func (s *Server) buildConnectivity(q url.Values) (endpointQuery, error) {
 	}
 	return endpointQuery{
 		key:   key,
-		price: func() error { _, err := s.admitConstruction(mp); return err },
+		price: func() error { _, err := s.admitConstruction(inst); return err },
 		compute: func(ctx context.Context, ck *jobs.CheckpointLog) (any, error) {
-			if _, err := s.admitConstruction(mp); err != nil {
+			if _, err := s.admitConstruction(inst); err != nil {
 				return nil, err
 			}
-			res, err := s.buildModel(ctx, mp, inputSimplex(mp.m), ck)
+			res, err := s.buildModel(ctx, inst, inputSimplex(inst.M), ck)
 			if err != nil {
 				return nil, err
 			}
@@ -324,15 +424,15 @@ func (s *Server) buildConnectivity(q url.Values) (endpointQuery, error) {
 				uptoOut = &upto
 			}
 			return struct {
-				Model        string       `json:"model"`
-				Params       modelJSON    `json:"params"`
-				Field        string       `json:"field"`
-				P            int          `json:"p,omitempty"`
-				Upto         *int         `json:"upto,omitempty"`
-				Complex      complexStats `json:"complex"`
-				Betti        []int        `json:"betti"`
-				Connectivity int          `json:"connectivity"`
-			}{mp.model, mp.json(), field, p, uptoOut, statsOf(c), betti, conn}, nil
+				Model        string               `json:"model"`
+				Params       modelspec.ParamsJSON `json:"params"`
+				Field        string               `json:"field"`
+				P            int                  `json:"p,omitempty"`
+				Upto         *int                 `json:"upto,omitempty"`
+				Complex      complexStats         `json:"complex"`
+				Betti        []int                `json:"betti"`
+				Connectivity int                  `json:"connectivity"`
+			}{inst.Model, inst.Params, field, p, uptoOut, statsOf(c), betti, conn}, nil
 		},
 	}, nil
 }
@@ -365,8 +465,8 @@ func connectivityOf(c *topology.Complex, betti []int) int {
 // frontier, not a partition of independent shards — so a resumed
 // decision job recomputes (the per-complex Betti ranks it needs still
 // restore from the engine's persistent cache).
-func (s *Server) buildDecision(q url.Values) (endpointQuery, error) {
-	mp, err := parseModelParams(q)
+func (s *Server) buildDecision(q url.Values, spec *modelspec.Spec) (endpointQuery, error) {
+	inst, err := resolveModel(q, spec)
 	if err != nil {
 		return endpointQuery{}, err
 	}
@@ -397,16 +497,16 @@ func (s *Server) buildDecision(q url.Values) (endpointQuery, error) {
 		// is the memory hazard: price the count arithmetically (saturating)
 		// and refuse before materializing a single simplex.
 		numInputs := int64(1)
-		for i := 0; i <= mp.n; i++ {
+		for i := 0; i <= inst.N; i++ {
 			numInputs = satMulServe(numInputs, int64(len(values)))
 		}
 		if numInputs > s.cfg.MaxFacets {
-			return overBudget("%d^%d = %d input facets exceeds budget %d", len(values), mp.n+1, numInputs, s.cfg.MaxFacets)
+			return overBudget("%d^%d = %d input facets exceeds budget %d", len(values), inst.N+1, numInputs, s.cfg.MaxFacets)
 		}
 		// The protocol complex unions R^r over every input facet; facets
 		// differ only in labels, so one uniform representative prices them
 		// all without enumerating the rest.
-		perInput, err := roundop.EstimateFacets(mp.operator(), uniformInputFacet(mp.n, values[0]), mp.r)
+		perInput, err := s.priceConstruction(inst, uniformInputFacet(inst.N, values[0]))
 		if err != nil {
 			return err
 		}
@@ -416,16 +516,16 @@ func (s *Server) buildDecision(q url.Values) (endpointQuery, error) {
 		return nil
 	}
 	return endpointQuery{
-		key:   fmt.Sprintf("%s|agree=%d|values=%s|limit=%d|map=%v", mp.key(), agree, canonicalValues(values), limit, includeMap),
+		key:   fmt.Sprintf("%s|agree=%d|values=%s|limit=%d|map=%v", inst.Key, agree, canonicalValues(values), limit, includeMap),
 		price: price,
 		compute: func(ctx context.Context, _ *jobs.CheckpointLog) (any, error) {
 			if err := price(); err != nil {
 				return nil, err
 			}
-			inputs := core.InputFacets(mp.n, values)
+			inputs := core.InputFacets(inst.N, values)
 			res := pc.NewResult()
 			for _, input := range inputs {
-				sub, err := mp.build(ctx, input, s.cfg.Workers)
+				sub, err := inst.Build(ctx, input, s.cfg.Workers)
 				if err != nil {
 					return nil, err
 				}
@@ -441,17 +541,17 @@ func (s *Server) buildDecision(q url.Values) (endpointQuery, error) {
 				return nil, err
 			}
 			out := struct {
-				Model         string        `json:"model"`
-				Params        modelJSON     `json:"params"`
-				Agree         int           `json:"agree"`
-				Values        []string      `json:"values"`
-				Complex       complexStats  `json:"complex"`
-				SearchBits    float64       `json:"search_space_bits"`
-				NodeLimit     int64         `json:"node_limit"`
-				Solvable      bool          `json:"solvable"`
-				DecisionMap   []decisionRow `json:"decision_map,omitempty"`
-				DecisionVerts int           `json:"decision_vertices,omitempty"`
-			}{mp.model, mp.json(), agree, values, statsOf(res.Complex), bits, limit, found, nil, len(dm)}
+				Model         string               `json:"model"`
+				Params        modelspec.ParamsJSON `json:"params"`
+				Agree         int                  `json:"agree"`
+				Values        []string             `json:"values"`
+				Complex       complexStats         `json:"complex"`
+				SearchBits    float64              `json:"search_space_bits"`
+				NodeLimit     int64                `json:"node_limit"`
+				Solvable      bool                 `json:"solvable"`
+				DecisionMap   []decisionRow        `json:"decision_map,omitempty"`
+				DecisionVerts int                  `json:"decision_vertices,omitempty"`
+			}{inst.Model, inst.Params, agree, values, statsOf(res.Complex), bits, limit, found, nil, len(dm)}
 			if includeMap && found {
 				out.DecisionMap = decisionRows(dm)
 			}
@@ -479,32 +579,6 @@ func decisionRows(dm task.DecisionMap) []decisionRow {
 		return rows[i].View < rows[j].View
 	})
 	return rows
-}
-
-// modelJSON is the echo of the effective model parameters in responses.
-type modelJSON struct {
-	N  int `json:"n"`
-	M  int `json:"m"`
-	F  int `json:"f,omitempty"`
-	K  int `json:"k,omitempty"`
-	C1 int `json:"c1,omitempty"`
-	C2 int `json:"c2,omitempty"`
-	D  int `json:"d,omitempty"`
-	R  int `json:"r"`
-}
-
-func (mp modelParams) json() modelJSON {
-	out := modelJSON{N: mp.n, M: mp.m, R: mp.r}
-	switch mp.model {
-	case "async":
-		out.F = mp.f
-	case "sync", "custom":
-		out.K = mp.k
-	case "semisync":
-		out.K = mp.k
-		out.C1, out.C2, out.D = mp.c1, mp.c2, mp.d
-	}
-	return out
 }
 
 // canonicalValues renders a value set for cache keys.

@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// post sends a JSON body to a path and decodes the JSON response.
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, string, map[string]any) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: invalid JSON response: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Cache"), out
+}
+
+// TestInlinePostSharesPresetKey pins the acceptance criterion of the
+// modelspec refactor: an inline spec equivalent to a preset compiles to
+// the identical canonical key, so the POST form hits the cache entry a
+// preset GET warmed — no recompute, byte-identical result.
+func TestInlinePostSharesPresetKey(t *testing.T) {
+	s := newTestServer(t, t.TempDir(), nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, cache, got := get(t, ts, "/v1/rounds?model=sync&n=2&k=1&r=2")
+	if code != 200 || cache != "miss" {
+		t.Fatalf("warming GET: status %d, X-Cache %q", code, cache)
+	}
+	code, cache, body := post(t, ts, "/v1/rounds",
+		`{"model": {"name": "sync", "params": {"n": 2, "k": 1, "r": 2}}}`)
+	if code != 200 {
+		t.Fatalf("preset-spec POST: status %d: %v", code, body)
+	}
+	if cache != "hit" {
+		t.Fatalf("preset-spec POST: X-Cache %q, want hit (same canonical key as the GET)", cache)
+	}
+	if fmt.Sprint(body) != fmt.Sprint(got) {
+		t.Fatalf("POST body differs from the GET it should alias:\n%v\n%v", body, got)
+	}
+	if computesOf(s) != 1 {
+		t.Fatalf("fleet of one ran %d computes, want 1", computesOf(s))
+	}
+}
+
+// TestInlinePostAdversarySpec: a custom graphs adversary — inexpressible
+// as a preset query — runs through the full POST spine: miss, then disk
+// hit on the repeat, on both the rounds and connectivity endpoints.
+func TestInlinePostAdversarySpec(t *testing.T) {
+	s := newTestServer(t, t.TempDir(), nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const spec = `{"model": {"processes": 3, "rounds": 2, "adversary": {"kind": "graphs",
+		"graphs": [{"edges": [[0,1],[1,2],[2,0]]}, {"edges": [[1,0],[2,1],[0,2]]}],
+		"schedule": [[0,1],[0]]}}}`
+	for _, ep := range []string{"/v1/rounds", "/v1/connectivity"} {
+		code, cache, body := post(t, ts, ep, spec)
+		if code != 200 || cache != "miss" {
+			t.Fatalf("%s cold: status %d, X-Cache %q: %v", ep, code, cache, body)
+		}
+		if got := body["model"].(string); got != "spec" {
+			t.Fatalf("%s echoed model %q, want \"spec\"", ep, got)
+		}
+		code, cache, again := post(t, ts, ep, spec)
+		if code != 200 || cache != "hit" {
+			t.Fatalf("%s warm: status %d, X-Cache %q", ep, code, cache)
+		}
+		if fmt.Sprint(again) != fmt.Sprint(body) {
+			t.Fatalf("%s hit body differs from miss body", ep)
+		}
+	}
+	// Edge-order and menu-order canonicalization: a reordered rendering of
+	// the same adversary is the same key, so it hits too.
+	const reordered = `{"model": {"processes": 3, "rounds": 2, "adversary": {"kind": "graphs",
+		"graphs": [{"edges": [[2,0],[0,1],[1,2]]}, {"edges": [[0,2],[1,0],[2,1]]}],
+		"schedule": [[1,0],[0]]}}}`
+	if code, cache, _ := post(t, ts, "/v1/rounds", reordered); code != 200 || cache != "hit" {
+		t.Fatalf("reordered spec: status %d, X-Cache %q, want 200 hit", code, cache)
+	}
+}
+
+// TestInlinePostDecision: the decision endpoint accepts the POST form
+// with its task parameters riding in "params".
+func TestInlinePostDecision(t *testing.T) {
+	s := newTestServer(t, t.TempDir(), nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Consensus against the full async adversary written as graphs
+	// (n=2, f=1): unsolvable, per Corollary 13.
+	var graphs []string
+	for _, g := range asyncGraphBodies() {
+		graphs = append(graphs, g)
+	}
+	body := `{"model": {"processes": 3, "adversary": {"kind": "graphs", "graphs": [` +
+		strings.Join(graphs, ",") + `]}}, "params": {"agree": "1"}}`
+	code, _, out := post(t, ts, "/v1/decision", body)
+	if code != 200 {
+		t.Fatalf("decision POST: status %d: %v", code, out)
+	}
+	if out["solvable"].(bool) {
+		t.Fatalf("consensus reported solvable against the async graphs adversary: %v", out)
+	}
+}
+
+// asyncGraphBodies renders the n=2 f=1 async adversary (every process
+// hears at least one other) as JSON graph objects.
+func asyncGraphBodies() []string {
+	menus := [][][]int{}
+	for p := 0; p < 3; p++ {
+		var others []int
+		for q := 0; q < 3; q++ {
+			if q != p {
+				others = append(others, q)
+			}
+		}
+		var menu [][]int
+		for mask := 1; mask < 4; mask++ {
+			var set []int
+			for i, q := range others {
+				if mask&(1<<i) != 0 {
+					set = append(set, q)
+				}
+			}
+			menu = append(menu, set)
+		}
+		menus = append(menus, menu)
+	}
+	bodies := []string{""}
+	for p, menu := range menus {
+		var next []string
+		for _, prefix := range bodies {
+			for _, set := range menu {
+				edges := prefix
+				for _, q := range set {
+					if edges != "" {
+						edges += ","
+					}
+					edges += fmt.Sprintf("[%d,%d]", q, p)
+				}
+				next = append(next, edges)
+			}
+		}
+		bodies = next
+	}
+	for i, b := range bodies {
+		bodies[i] = `{"edges": [` + b + `]}`
+	}
+	return bodies
+}
+
+// TestInlinePostBadBodies: malformed POST bodies are client errors with a
+// message, never 500s, and spec validation errors surface as 400.
+func TestInlinePostBadBodies(t *testing.T) {
+	s := newTestServer(t, "", nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"empty":           ``,
+		"not-json":        `model=sync`,
+		"no-model":        `{"params": {"n": "2"}}`,
+		"unknown-preset":  `{"model": {"name": "quantum"}}`,
+		"both-forms":      `{"model": {"name": "sync"}, "params": {"model": "async"}}`,
+		"no-adversary":    `{"model": {"processes": 2}}`,
+		"unknown-field":   `{"model": {"name": "sync"}, "endpoint": "rounds"}`,
+		"self-loop":       `{"model": {"processes": 2, "adversary": {"kind": "graphs", "graphs": [{"edges": [[0,0]]}]}}}`,
+		"rounds-too-deep": `{"model": {"processes": 2, "rounds": 9, "adversary": {"kind": "crash"}}}`,
+	} {
+		code, _, out := post(t, ts, "/v1/rounds", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400): %v", name, code, out)
+		} else if out["error"].(string) == "" {
+			t.Errorf("%s: empty error message", name)
+		}
+	}
+	// An oversized body is a budget refusal, not a parse error.
+	big := `{"model": {"name": "sync"}, "params": {"pad": "` + strings.Repeat("x", 1<<16) + `"}}`
+	if code, _, out := post(t, ts, "/v1/rounds", big); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d (want 413): %v", code, out)
+	}
+}
+
+// TestJobInlineSpecDedup: a job carrying an inline preset-form spec
+// deduplicates against a job submitted with the equivalent query params —
+// the id derives from the canonical key, which the registry makes
+// form-independent.
+func TestJobInlineSpecDedup(t *testing.T) {
+	s := newTestServer(t, t.TempDir(), func(c *Config) { c.JobDir = t.TempDir() })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	submit := func(body string) string {
+		t.Helper()
+		code, _, out := post(t, ts, "/v1/jobs", body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: status %d: %v", code, out)
+		}
+		id, _ := out["id"].(string)
+		if id == "" {
+			t.Fatalf("submit returned no id: %v", out)
+		}
+		return id
+	}
+	byQuery := submit(`{"endpoint": "connectivity", "params": {"model": "sync", "n": "2", "k": "1", "r": "2"}}`)
+	bySpec := submit(`{"endpoint": "connectivity", "model": {"name": "sync", "params": {"n": 2, "k": 1, "r": 2}}}`)
+	if byQuery != bySpec {
+		t.Fatalf("inline-spec job id %s != query job id %s (dedup broken)", bySpec, byQuery)
+	}
+	// An adversary-form job is a distinct computation with its own id, and
+	// it runs to completion through the checkpointed job path.
+	advID := submit(`{"endpoint": "connectivity", "model": {"processes": 3,
+		"adversary": {"kind": "graphs", "graphs": [{"edges": [[0,1],[1,0],[2,0],[2,1]]}]}}}`)
+	if advID == byQuery {
+		t.Fatal("adversary-form job shares the preset job id")
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		code, _, st := get(t, ts, "/v1/jobs/"+advID)
+		if code != 200 {
+			t.Fatalf("status poll: %d (%v)", code, st)
+		}
+		state, _ := st["state"].(string)
+		if state == "done" {
+			break
+		}
+		if state == "failed" || state == "cancelled" {
+			t.Fatalf("job ended %s: %v", state, st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", state)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	code, cache, res := get(t, ts, "/v1/jobs/"+advID+"/result")
+	if code != 200 || cache != "job" {
+		t.Fatalf("result: status %d, X-Cache %q (%v)", code, cache, res)
+	}
+	if got := res["model"].(string); got != "spec" {
+		t.Fatalf("job result model %q, want \"spec\"", got)
+	}
+	// Bad inline specs are refused at submit time with a message.
+	code, _, out := post(t, ts, "/v1/jobs",
+		`{"endpoint": "rounds", "model": {"name": "quantum"}}`)
+	if code != http.StatusBadRequest || out["error"].(string) == "" {
+		t.Fatalf("bad inline job spec: status %d: %v", code, out)
+	}
+}
+
+// TestRouterInlineSpecPlacement drives the POST form through the fleet:
+// the router compiles the spec to its canonical key, routes to the ring
+// owner, and the repeat is a hit — with exactly one compute on exactly
+// one replica, pinning deterministic single-owner placement for inline
+// specs.
+func TestRouterInlineSpecPlacement(t *testing.T) {
+	urls, servers, _ := newFleet(t, 2, nil)
+	router, err := NewRouter(RouterConfig{Replicas: urls, VNodes: 8, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	rts := httptest.NewServer(router.Handler())
+	defer rts.Close()
+
+	const spec = `{"model": {"processes": 3, "rounds": 2, "adversary": {"kind": "graphs",
+		"graphs": [{"edges": [[0,1],[1,2],[2,0]]}, {"edges": [[1,0],[2,1],[0,2]]}]}}}`
+	code, cache, body := post(t, rts, "/v1/connectivity", spec)
+	if code != 200 || cache != "miss" {
+		t.Fatalf("first routed POST: status %d, X-Cache %q: %v", code, cache, body)
+	}
+	code, cache, again := post(t, rts, "/v1/connectivity", spec)
+	if code != 200 || cache != "hit" {
+		t.Fatalf("second routed POST: status %d, X-Cache %q", code, cache)
+	}
+	if fmt.Sprint(again) != fmt.Sprint(body) {
+		t.Fatal("routed hit body differs from miss body")
+	}
+	c0, c1 := computesOf(servers[0]), computesOf(servers[1])
+	if c0+c1 != 1 || (c0 != 0 && c1 != 0) {
+		t.Fatalf("inline spec computed on both replicas or more than once (replica0=%d replica1=%d)", c0, c1)
+	}
+	// Spec errors are refused at the router, before any replica hop.
+	code, _, out := post(t, rts, "/v1/connectivity", `{"model": {"name": "quantum"}}`)
+	if code != 400 {
+		t.Fatalf("bad spec via router: status %d (%v), want 400", code, out)
+	}
+}

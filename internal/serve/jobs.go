@@ -5,11 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"time"
 
 	"pseudosphere/internal/jobs"
+	"pseudosphere/internal/modelspec"
 	"pseudosphere/internal/task"
 )
 
@@ -28,7 +28,7 @@ const jobEventInterval = 250 * time.Millisecond
 // result lands exactly where the synchronous endpoint would cache it — a
 // warm GET and a finished job are indistinguishable.
 func (s *Server) jobPrepare(spec jobs.Spec) (string, error) {
-	bq, err := s.buildQuery(spec.Endpoint, spec.Values())
+	bq, err := s.specQuery(spec)
 	if err != nil {
 		return "", err
 	}
@@ -52,7 +52,7 @@ func (s *Server) jobRun(ctx context.Context, t *jobs.Task) error {
 		s.tracker.Counter("job_result_warm").Add(1)
 		return nil
 	}
-	bq, err := s.buildQuery(t.Spec.Endpoint, t.Spec.Values())
+	bq, err := s.specQuery(t.Spec)
 	if err != nil {
 		return err
 	}
@@ -72,17 +72,28 @@ func (s *Server) jobRun(ctx context.Context, t *jobs.Task) error {
 	return s.store.Put(t.Key, body)
 }
 
+// specQuery resolves a job spec to its endpoint's query plan: the
+// spec's params map plays the query string, and its optional inline
+// model document goes through the same modelspec parse the POST
+// endpoints use — so a job and a synchronous request for the same model
+// derive the same canonical key however the model was spelled.
+func (s *Server) specQuery(spec jobs.Spec) (endpointQuery, error) {
+	var ms *modelspec.Spec
+	if len(spec.Model) > 0 {
+		var err error
+		if ms, err = modelspec.Parse(spec.Model); err != nil {
+			return endpointQuery{}, err
+		}
+	}
+	return s.buildQuery(spec.Endpoint, spec.Values(), ms)
+}
+
 // handleJobSubmit accepts POST /v1/jobs. 202 with the job status for both
 // fresh submissions and joins of an existing job.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobBody+1))
+	body, err := readBody(w, r)
 	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("job spec exceeds %d bytes", maxJobBody))
-		} else {
-			writeError(w, http.StatusBadRequest, err)
-		}
+		s.failJob(w, r, err)
 		return
 	}
 	spec, err := jobs.ParseSpec(body)
@@ -218,8 +229,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) failJob(w http.ResponseWriter, r *http.Request, err error) {
 	var se *jobs.SpecError
 	var br badRequestError
+	var me *modelspec.Error
 	switch {
-	case errors.As(err, &se), errors.As(err, &br):
+	case errors.As(err, &se), errors.As(err, &br), errors.As(err, &me):
 		s.tracker.Counter("bad_requests").Add(1)
 		writeError(w, http.StatusBadRequest, err)
 	case errors.Is(err, errBudget), errors.Is(err, task.ErrSearchLimit):

@@ -1,28 +1,20 @@
 package serve
 
 import (
-	"context"
 	"fmt"
 	"net/url"
 	"strconv"
 	"strings"
 
-	"pseudosphere/internal/asyncmodel"
-	"pseudosphere/internal/custommodel"
-	"pseudosphere/internal/iis"
-	"pseudosphere/internal/pc"
-	"pseudosphere/internal/roundop"
-	"pseudosphere/internal/semisync"
-	"pseudosphere/internal/syncmodel"
+	"pseudosphere/internal/modelspec"
 	"pseudosphere/internal/topology"
 )
 
 // Hard parameter ceilings, enforced before any validation that would
 // require building something. They bound memory, not correctness: the
-// real work bound is the facet-budget admission check.
+// real work bound is the facet-budget admission check. Model-parameter
+// ceilings (n, rounds) live in modelspec with the registry.
 const (
-	maxN      = 12
-	maxRounds = 6
 	maxValues = 16
 	// maxGFpP caps field=gfp moduli: far below the int64 overflow bound of
 	// the dense GF(p) elimination (p^2 terms), and small enough that the
@@ -75,140 +67,18 @@ func qValues(q url.Values) ([]string, error) {
 	return vals, nil
 }
 
-// modelParams is the validated parameter tuple shared by /v1/rounds,
-// /v1/connectivity, and /v1/decision: which model, over which input face,
-// with which failure and timing structure, for how many rounds.
-type modelParams struct {
-	model     string // async, sync, semisync, iis, custom
-	n, m      int    // n+1 processes in the system; input face dimension m
-	f, k      int    // total failure bound (async) / per-round bound (sync-like)
-	c1, c2, d int    // semisync timing
-	r         int    // rounds
-}
-
-// parseModelParams reads and validates the model tuple from the query.
-func parseModelParams(q url.Values) (modelParams, error) {
-	var mp modelParams
-	var err error
-	mp.model = q.Get("model")
-	if mp.model == "" {
-		mp.model = "async"
+// resolveModel resolves a request's model through the modelspec registry:
+// the inline spec when the request carried one (POST bodies, job specs),
+// otherwise the preset named in the query. This is the only model
+// resolution path in the package — serve knows no model names.
+func resolveModel(q url.Values, spec *modelspec.Spec) (*modelspec.Instance, error) {
+	if spec == nil {
+		return modelspec.FromQuery(q)
 	}
-	switch mp.model {
-	case "async", "sync", "semisync", "iis", "custom":
-	default:
-		return mp, badRequest("unknown model %q (want async, sync, semisync, iis, or custom)", mp.model)
+	if q.Get("model") != "" {
+		return nil, badRequest("request has both an inline model spec and a model= parameter")
 	}
-	if mp.n, err = qInt(q, "n", 2); err != nil {
-		return mp, err
-	}
-	if mp.m, err = qInt(q, "m", -1); err != nil {
-		return mp, err
-	}
-	if mp.m < 0 {
-		mp.m = mp.n
-	}
-	if mp.f, err = qInt(q, "f", 1); err != nil {
-		return mp, err
-	}
-	if mp.k, err = qInt(q, "k", 1); err != nil {
-		return mp, err
-	}
-	if mp.c1, err = qInt(q, "c1", 1); err != nil {
-		return mp, err
-	}
-	if mp.c2, err = qInt(q, "c2", 2); err != nil {
-		return mp, err
-	}
-	if mp.d, err = qInt(q, "d", 2); err != nil {
-		return mp, err
-	}
-	if mp.r, err = qInt(q, "r", 1); err != nil {
-		return mp, err
-	}
-	if mp.n < 0 || mp.n > maxN {
-		return mp, badRequest("n=%d out of range [0, %d]", mp.n, maxN)
-	}
-	if mp.m > mp.n {
-		return mp, badRequest("m=%d exceeds n=%d", mp.m, mp.n)
-	}
-	if mp.r < 0 || mp.r > maxRounds {
-		return mp, badRequest("r=%d out of range [0, %d]", mp.r, maxRounds)
-	}
-	if err := mp.modelValidate(); err != nil {
-		return mp, badRequestError{msg: err.Error()}
-	}
-	return mp, nil
-}
-
-// modelValidate delegates to the model package's own Params.Validate.
-func (mp modelParams) modelValidate() error {
-	switch mp.model {
-	case "async":
-		return asyncmodel.Params{N: mp.n, F: mp.f}.Validate()
-	case "sync":
-		return syncmodel.Params{PerRound: mp.k, Total: mp.r * mp.k}.Validate()
-	case "semisync":
-		return semisync.Params{C1: mp.c1, C2: mp.c2, D: mp.d, PerRound: mp.k, Total: mp.r * mp.k}.Validate()
-	case "custom":
-		return custommodel.Params{PerRound: mp.k}.Validate()
-	}
-	return nil
-}
-
-// key returns the canonical cache identity of the tuple: a fixed field
-// order containing exactly the fields the model consumes, so equivalent
-// requests share one cache entry regardless of query spelling.
-func (mp modelParams) key() string {
-	switch mp.model {
-	case "async":
-		return fmt.Sprintf("model=async|n=%d|m=%d|f=%d|r=%d", mp.n, mp.m, mp.f, mp.r)
-	case "sync":
-		return fmt.Sprintf("model=sync|n=%d|m=%d|k=%d|r=%d", mp.n, mp.m, mp.k, mp.r)
-	case "semisync":
-		return fmt.Sprintf("model=semisync|n=%d|m=%d|k=%d|c1=%d|c2=%d|d=%d|r=%d",
-			mp.n, mp.m, mp.k, mp.c1, mp.c2, mp.d, mp.r)
-	case "iis":
-		return fmt.Sprintf("model=iis|n=%d|m=%d|r=%d", mp.n, mp.m, mp.r)
-	default:
-		return fmt.Sprintf("model=custom|n=%d|m=%d|k=%d|r=%d", mp.n, mp.m, mp.k, mp.r)
-	}
-}
-
-// operator returns the round operator of the tuple, the budgeted-admission
-// seam: roundop.EstimateFacets prices a request in microseconds before the
-// service commits a worker to it.
-func (mp modelParams) operator() roundop.Operator {
-	switch mp.model {
-	case "async":
-		return asyncmodel.Params{N: mp.n, F: mp.f}.Operator()
-	case "sync":
-		return syncmodel.Params{PerRound: mp.k, Total: mp.r * mp.k}.Operator()
-	case "semisync":
-		return semisync.Params{C1: mp.c1, C2: mp.c2, D: mp.d, PerRound: mp.k, Total: mp.r * mp.k}.Operator()
-	case "iis":
-		return iis.Operator()
-	default:
-		return custommodel.Params{PerRound: mp.k}.Operator()
-	}
-}
-
-// build constructs the r-round complex over the given input simplex with
-// the parallel, cancellable constructors.
-func (mp modelParams) build(ctx context.Context, input topology.Simplex, workers int) (*pc.Result, error) {
-	switch mp.model {
-	case "async":
-		return asyncmodel.RoundsParallelCtx(ctx, input, asyncmodel.Params{N: mp.n, F: mp.f}, mp.r, workers)
-	case "sync":
-		return syncmodel.RoundsParallelCtx(ctx, input, syncmodel.Params{PerRound: mp.k, Total: mp.r * mp.k}, mp.r, workers)
-	case "semisync":
-		p := semisync.Params{C1: mp.c1, C2: mp.c2, D: mp.d, PerRound: mp.k, Total: mp.r * mp.k}
-		return semisync.RoundsParallelCtx(ctx, input, p, mp.r, workers)
-	case "iis":
-		return iis.RoundsParallelCtx(ctx, input, mp.r, workers)
-	default:
-		return custommodel.RoundsParallelCtx(ctx, input, custommodel.Params{PerRound: mp.k}, mp.r, workers)
-	}
+	return spec.Compile()
 }
 
 // uniformInputFacet is the input facet where every process holds the same

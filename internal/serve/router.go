@@ -87,6 +87,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	for _, ep := range []string{"pseudosphere", "rounds", "connectivity", "decision"} {
 		rt.mux.HandleFunc("GET /v1/"+ep, rt.handleEndpoint(ep))
 	}
+	for _, ep := range []string{"rounds", "connectivity", "decision"} {
+		rt.mux.HandleFunc("POST /v1/"+ep, rt.handleEndpointPost(ep))
+	}
 	rt.mux.HandleFunc("POST /v1/jobs", rt.handleJobSubmit)
 	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
 	rt.mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleJob)
@@ -108,14 +111,50 @@ func (rt *Router) Close() error {
 // key — the identity the replicas cache and singleflight on.
 func (rt *Router) handleEndpoint(endpoint string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		bq, err := rt.keyer.buildQuery(endpoint, r.URL.Query())
+		bq, err := rt.keyer.buildQuery(endpoint, r.URL.Query(), nil)
 		if err != nil {
-			rt.tracker.Counter("bad_requests").Add(1)
-			writeError(w, http.StatusBadRequest, err)
+			rt.failParse(w, err)
 			return
 		}
 		rt.route(w, r, "resp|"+endpoint+"|"+bq.key, nil)
 	}
+}
+
+// handleEndpointPost routes the inline-spec POST form. The spec-derived
+// canonical key shapes ring placement exactly as the replicas' own parse
+// would, so an inline spec and its preset-equivalent land on the same
+// owner replica — one singleflight, one warm cache slot.
+func (rt *Router) handleEndpointPost(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(w, r)
+		if err != nil {
+			rt.failParse(w, err)
+			return
+		}
+		q, spec, err := parseInlineBody(body)
+		if err != nil {
+			rt.failParse(w, err)
+			return
+		}
+		bq, err := rt.keyer.buildQuery(endpoint, q, spec)
+		if err != nil {
+			rt.failParse(w, err)
+			return
+		}
+		rt.route(w, r, "resp|"+endpoint+"|"+bq.key, body)
+	}
+}
+
+// failParse maps key-derivation errors on the router — the same classes
+// the replicas map, with no compute path behind them.
+func (rt *Router) failParse(w http.ResponseWriter, err error) {
+	if errors.Is(err, errBudget) {
+		rt.tracker.Counter("rejected_budget").Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	rt.tracker.Counter("bad_requests").Add(1)
+	writeError(w, http.StatusBadRequest, err)
 }
 
 // handleJobSubmit routes POST /v1/jobs. The job's dedup identity is
@@ -124,26 +163,19 @@ func (rt *Router) handleEndpoint(endpoint string) http.HandlerFunc {
 // the same replica — the fleet keeps the "duplicate submissions join
 // one job" property replicas guarantee locally.
 func (rt *Router) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobBody+1))
+	body, err := readBody(w, r)
 	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("job spec exceeds %d bytes", maxJobBody))
-		} else {
-			writeError(w, http.StatusBadRequest, err)
-		}
+		rt.failParse(w, err)
 		return
 	}
 	spec, err := jobs.ParseSpec(body)
 	if err != nil {
-		rt.tracker.Counter("bad_requests").Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		rt.failParse(w, err)
 		return
 	}
-	bq, err := rt.keyer.buildQuery(spec.Endpoint, spec.Values())
+	bq, err := rt.keyer.specQuery(spec)
 	if err != nil {
-		rt.tracker.Counter("bad_requests").Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		rt.failParse(w, err)
 		return
 	}
 	id := jobs.IDForKey("resp|" + spec.Endpoint + "|" + bq.key)

@@ -36,6 +36,7 @@ import (
 	"pseudosphere/internal/cluster"
 	"pseudosphere/internal/homology"
 	"pseudosphere/internal/jobs"
+	"pseudosphere/internal/modelspec"
 	"pseudosphere/internal/obs"
 	"pseudosphere/internal/store"
 	"pseudosphere/internal/task"
@@ -213,6 +214,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/rounds", s.handleEndpoint("rounds"))
 	s.mux.HandleFunc("GET /v1/connectivity", s.handleEndpoint("connectivity"))
 	s.mux.HandleFunc("GET /v1/decision", s.handleEndpoint("decision"))
+	// POST variants carry an inline model spec in the body; they compile
+	// to the same canonical keys, so they share the GET spine's cache
+	// entries, singleflights, and ring placement.
+	s.mux.HandleFunc("POST /v1/rounds", s.handleEndpointPost("rounds"))
+	s.mux.HandleFunc("POST /v1/connectivity", s.handleEndpointPost("connectivity"))
+	s.mux.HandleFunc("POST /v1/decision", s.handleEndpointPost("decision"))
 
 	// The job manager starts last: its dispatcher may immediately resume
 	// persisted jobs, which need the engine and store above.
@@ -440,8 +447,9 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint, ke
 // fail maps compute errors to HTTP statuses and counters.
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, endpoint string, err error) {
 	var br badRequestError
+	var me *modelspec.Error
 	switch {
-	case errors.As(err, &br):
+	case errors.As(err, &br), errors.As(err, &me):
 		s.tracker.Counter("bad_requests").Add(1)
 		writeError(w, http.StatusBadRequest, err)
 	case errors.Is(err, errSaturated):
