@@ -107,6 +107,7 @@ func realMain(args []string) int {
 	asyncMode := fs.Bool("async", false, "drive the job API (submit, poll, fetch result) instead of synchronous GETs")
 	inlineSpec := fs.Bool("inline-spec", false, "issue model queries as POST inline-spec bodies instead of GETs")
 	pollEvery := fs.Duration("poll-interval", 20*time.Millisecond, "job status poll interval in -async mode")
+	oneQuery := fs.String("query", "", "drive this single query path instead of the Zipf universe (e.g. /v1/rounds?model=async&n=4&f=4&r=1); EXPERIMENTS.md uses it to time one big build against standalone and distributed fleets")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -125,12 +126,16 @@ func realMain(args []string) int {
 		}
 	}
 
-	qs := universe()
-	rng := rand.New(rand.NewSource(*seed))
-	zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(qs)-1))
-	if zipf == nil {
-		fmt.Fprintln(os.Stderr, "loadgen: invalid zipf parameters")
-		return 2
+	draw := func() string { return *oneQuery }
+	if *oneQuery == "" {
+		qs := universe()
+		rng := rand.New(rand.NewSource(*seed))
+		zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(qs)-1))
+		if zipf == nil {
+			fmt.Fprintln(os.Stderr, "loadgen: invalid zipf parameters")
+			return 2
+		}
+		draw = func() string { return qs[zipf.Uint64()] }
 	}
 
 	// Draw the whole workload upfront (the RNG is not goroutine-safe),
@@ -139,7 +144,7 @@ func realMain(args []string) int {
 	type job struct{ target, query string }
 	work := make(chan job, *requests)
 	for i := 0; i < *requests; i++ {
-		work <- job{target: targets[i%len(targets)], query: qs[zipf.Uint64()]}
+		work <- job{target: targets[i%len(targets)], query: draw()}
 	}
 	close(work)
 

@@ -109,10 +109,17 @@ func realMain(args []string, ready chan<- net.Addr) int {
 	mode := fs.String("mode", "standalone", "process role: standalone, replica, or router")
 	self := fs.String("self", "", "replica mode: this replica's base URL as peers reach it")
 	peers := fs.String("peers", "", "replica mode: comma-separated base URLs of every replica (including -self)")
+	distThreshold := fs.Int64("dist-threshold", 0, "replica mode: distribute constructions whose facet estimate meets this across the fleet (0 = off)")
+	distLease := fs.Duration("dist-lease", 0, "replica mode: shard-range lease deadline for distributed builds (0 = 10s)")
 	replicas := fs.String("replicas", "", "router mode: comma-separated replica base URLs")
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default)")
 	healthInterval := fs.Duration("health-interval", 2*time.Second, "router mode: replica health probe period")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *distThreshold > 0 && *mode != "replica" {
+		fmt.Fprintln(os.Stderr, "serve: -dist-threshold requires -mode replica (distribution is a fleet protocol)")
 		return 2
 	}
 
@@ -170,6 +177,8 @@ func realMain(args []string, ready chan<- net.Addr) int {
 		JobTimeout:         *jobTimeout,
 		JobCheckpointEvery: *jobCkptEvery,
 		Cluster:            clusterCfg,
+		DistThreshold:      *distThreshold,
+		DistLease:          *distLease,
 		DisableMorse:       *noMorse,
 		Tracker:            tracker,
 		Log:                logger,

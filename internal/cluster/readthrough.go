@@ -176,7 +176,7 @@ func (rt *ReadThrough) pushLoop() {
 // Stats and Len delegate to the local tier: the fleet counters live on
 // the tracker, the disk counters where they always were.
 func (rt *ReadThrough) Stats() (hits, misses, puts, evictions uint64) { return rt.local.Stats() }
-func (rt *ReadThrough) Len() int                                     { return rt.local.Len() }
+func (rt *ReadThrough) Len() int                                      { return rt.local.Len() }
 
 // Close drains the pending owner pushes (the fleet's half of a graceful
 // shutdown flush) and stops the push worker. Idempotent.

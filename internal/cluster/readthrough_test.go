@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -14,8 +15,8 @@ import (
 
 // memBackend is an in-memory store.Backend for wiring tests.
 type memBackend struct {
-	mu   sync.Mutex
-	m    map[string][]byte
+	mu                 sync.Mutex
+	m                  map[string][]byte
 	hits, misses, puts uint64
 }
 
@@ -173,6 +174,60 @@ func TestReadThroughDeadOwner(t *testing.T) {
 	}
 	if got := tr.Counters()["cluster_push_drops"]; got == 0 {
 		t.Fatal("post-Close push not counted as dropped")
+	}
+}
+
+// TestReadThroughPushQueueOverflow: a stalled owner fills the bounded
+// push queue; the overflow Put drops its push (counted) instead of
+// blocking the caller or growing the backlog, and still lands locally.
+func TestReadThroughPushQueueOverflow(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(started) })
+		<-release
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	ring := NewRing(4)
+	ring.Add(srv.URL)
+	tr := obs.NewTracker()
+	rt := NewReadThrough(newMemBackend(), ring, "http://self.invalid", tr)
+	defer rt.Close()     // drains the backlog against the released owner
+	defer close(release) // LIFO: unblock the handler before Close drains
+
+	// Stall the push worker inside its first delivery, so nothing drains.
+	if err := rt.Put("k-blocker", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("push worker never reached the owner")
+	}
+
+	// With the worker wedged, exactly pushQueueLen entries fit.
+	for i := 0; i < pushQueueLen; i++ {
+		if err := rt.Put(fmt.Sprintf("fill-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Counters()["cluster_push_drops"]; got != 0 {
+		t.Fatalf("queue of %d dropped %d pushes before overflowing", pushQueueLen, got)
+	}
+
+	// The next Put overflows: local write succeeds, the push is dropped
+	// and counted.
+	if err := rt.Put("k-overflow", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if body, ok := rt.Get("k-overflow"); !ok || string(body) != "w" {
+		t.Fatalf("overflow Put lost locally: %q, %v", body, ok)
+	}
+	if got := tr.Counters()["cluster_push_drops"]; got != 1 {
+		t.Fatalf("cluster_push_drops = %d, want 1", got)
 	}
 }
 

@@ -1,0 +1,309 @@
+package distbuild
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"pseudosphere/internal/modelspec"
+	"pseudosphere/internal/obs"
+	"pseudosphere/internal/pc"
+	"pseudosphere/internal/roundop"
+)
+
+// maxOfferBody bounds an offer body: a spec document plus the input
+// simplex and framing slack.
+const maxOfferBody = modelspec.MaxSpecBytes + (16 << 10)
+
+// completeRetries is how many times a worker re-sends one completion
+// over transport errors before abandoning the lease to expiry.
+const completeRetries = 3
+
+// offerGrace is how long a claim loop tolerates "unknown build" answers
+// before its first successful claim. The coordinator fans offers out
+// before Run registers the build, so the first claims can outrun the
+// registration; after the grace (or after any successful claim) a 404
+// means the build finished and was withdrawn.
+const offerGrace = 5 * time.Second
+
+// errUnknownBuild is a claim answered 404: the build is not (or no
+// longer) registered at the coordinator.
+var errUnknownBuild = errors.New("distbuild: coordinator does not know this build")
+
+// CompileFunc turns an offer into the build's shard plan. The serving
+// tier's implementation parses the offer's model document through
+// modelspec, re-prices it against the replica's own facet budget, and
+// plans shards — a worker never trusts the coordinator's arithmetic.
+type CompileFunc func(offer *BuildOffer) (*roundop.ShardPlan, error)
+
+// WorkerPool runs this replica's shard-worker side: it accepts build
+// offers and, per accepted build, runs claim loops against the
+// coordinator until the build reports done.
+type WorkerPool struct {
+	// Self names this worker in claim requests; the coordinator's lease
+	// bookkeeping reports it back through OnStolen when this worker dies
+	// holding a lease.
+	Self string
+	// Compile validates and compiles an offer (required).
+	Compile CompileFunc
+	// Workers is the claim-loop count per accepted build (minimum 1).
+	Workers int
+	// MaxClaim caps shards requested per claim; 0 lets the coordinator
+	// pick.
+	MaxClaim int
+	// Tracker records worker metrics (nil: a fresh tracker).
+	Tracker *obs.Tracker
+	// Client posts claims and completions (nil: a dedicated client with
+	// sane timeouts).
+	Client *http.Client
+
+	once   sync.Once
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	active map[string]bool
+}
+
+func (p *WorkerPool) init() {
+	p.once.Do(func() {
+		p.ctx, p.cancel = context.WithCancel(context.Background())
+		p.active = make(map[string]bool)
+		if p.Tracker == nil {
+			p.Tracker = obs.NewTracker()
+		}
+		if p.Client == nil {
+			// No overall request timeout: completion bodies can be large.
+			// Liveness comes from the coordinator side (leases) and from
+			// Close cancelling the loop contexts.
+			p.Client = &http.Client{}
+		}
+		if p.Workers < 1 {
+			p.Workers = 1
+		}
+	})
+}
+
+// OfferHandler serves POST OfferPath: compile the offered build and
+// start claim loops for it. 202 on acceptance (idempotent per build id
+// while the build is active), 400 when the offer fails validation or
+// pricing.
+func (p *WorkerPool) OfferHandler() http.HandlerFunc {
+	p.init()
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxOfferBody))
+		if err != nil {
+			http.Error(w, "oversized offer", http.StatusRequestEntityTooLarge)
+			return
+		}
+		var offer BuildOffer
+		if err := json.Unmarshal(body, &offer); err != nil {
+			http.Error(w, "invalid offer", http.StatusBadRequest)
+			return
+		}
+		if offer.Build == "" || offer.Coordinator == "" {
+			http.Error(w, "offer names no build or no coordinator", http.StatusBadRequest)
+			return
+		}
+		p.mu.Lock()
+		if p.active[offer.Build] {
+			p.mu.Unlock()
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+		p.mu.Unlock()
+		plan, err := p.Compile(&offer)
+		if err != nil {
+			p.Tracker.Counter("dist_offers_rejected").Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p.mu.Lock()
+		if p.active[offer.Build] { // raced another copy of the same offer
+			p.mu.Unlock()
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+		p.active[offer.Build] = true
+		p.mu.Unlock()
+		p.Tracker.Counter("dist_offers_accepted").Add(1)
+
+		var builders sync.WaitGroup
+		for i := 0; i < p.Workers; i++ {
+			p.wg.Add(1)
+			builders.Add(1)
+			go func() {
+				defer p.wg.Done()
+				defer builders.Done()
+				p.claimLoop(offer.Build, offer.Coordinator, plan)
+			}()
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			builders.Wait()
+			p.mu.Lock()
+			delete(p.active, offer.Build)
+			p.mu.Unlock()
+		}()
+		w.WriteHeader(http.StatusAccepted)
+	}
+}
+
+// Close stops every claim loop and waits for them to exit. In-flight
+// shard enumerations finish their final completion post or abandon it.
+func (p *WorkerPool) Close() {
+	p.init()
+	p.cancel()
+	p.wg.Wait()
+}
+
+// claimLoop is one worker goroutine's build participation: claim a
+// range, enumerate it, post the delta, repeat until the coordinator
+// says done (or disappears).
+func (p *WorkerPool) claimLoop(build, coordinator string, plan *roundop.ShardPlan) {
+	claims := p.Tracker.Counter("dist_worker_claims")
+	shards := p.Tracker.Counter("dist_worker_shards")
+	started := time.Now()
+	everClaimed := false
+	for {
+		if p.ctx.Err() != nil {
+			return
+		}
+		resp, err := p.postClaim(build, coordinator)
+		if errors.Is(err, errUnknownBuild) && !everClaimed && time.Since(started) < offerGrace {
+			// The offer beat the coordinator's own registration; give it a
+			// moment.
+			select {
+			case <-p.ctx.Done():
+				return
+			case <-time.After(150 * time.Millisecond):
+			}
+			continue
+		}
+		if err != nil {
+			// Coordinator unreachable or build unknown (finished,
+			// restarted, withdrawn): this worker's part is over.
+			return
+		}
+		everClaimed = true
+		if resp.Done {
+			return
+		}
+		if resp.Wait {
+			select {
+			case <-p.ctx.Done():
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		claims.Add(1)
+		local := pc.NewResult()
+		idx := make([]int, 0, resp.Hi-resp.Lo)
+		enumErr := error(nil)
+		for i := resp.Lo; i < resp.Hi; i++ {
+			if p.ctx.Err() != nil {
+				return // mid-range shutdown: the lease expires on its own
+			}
+			if err := plan.RunShard(local, i); err != nil {
+				enumErr = err
+				break
+			}
+			idx = append(idx, i)
+		}
+		if enumErr != nil {
+			// A plan that fails to enumerate here would fail identically on
+			// the coordinator; stop rather than loop on a poisoned build.
+			p.Tracker.Counter("dist_worker_errors").Add(1)
+			return
+		}
+		frame := EncodeShardDelta(build, resp.Lease, idx, local)
+		if err := p.postComplete(coordinator, frame); err != nil {
+			if errors.Is(err, errLeaseGone) {
+				continue // stolen while we worked; claim a fresh range
+			}
+			if p.ctx.Err() != nil {
+				return // pool shutdown cancelled the post mid-flight
+			}
+			p.Tracker.Counter("dist_worker_errors").Add(1)
+			return
+		}
+		shards.Add(uint64(len(idx)))
+	}
+}
+
+// postClaim asks the coordinator for a lease.
+func (p *WorkerPool) postClaim(build, coordinator string) (*claimResponse, error) {
+	body, err := json.Marshal(claimRequest{Build: build, Worker: p.Self, Max: p.MaxClaim})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(p.ctx, http.MethodPost, coordinator+ClaimPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, errUnknownBuild
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("distbuild: claim: coordinator answered %s", resp.Status)
+	}
+	var cr claimResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxClaimBody)).Decode(&cr); err != nil {
+		return nil, err
+	}
+	return &cr, nil
+}
+
+// postComplete delivers one framed delta, retrying transport errors a
+// few times: the work is already done, so a moment of network noise
+// should not force a re-enumeration by someone else.
+func (p *WorkerPool) postComplete(coordinator string, frame []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < completeRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-p.ctx.Done():
+				return p.ctx.Err()
+			case <-time.After(time.Duration(attempt) * 200 * time.Millisecond):
+			}
+		}
+		req, err := http.NewRequestWithContext(p.ctx, http.MethodPost, coordinator+CompletePath, bytes.NewReader(frame))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := p.Client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusNoContent, http.StatusOK:
+			return nil
+		case http.StatusGone:
+			return errLeaseGone
+		default:
+			return fmt.Errorf("distbuild: complete: coordinator answered %s", resp.Status)
+		}
+	}
+	return lastErr
+}

@@ -274,14 +274,22 @@ func (s *Spec) Compile() (*Instance, error) {
 }
 
 // instance compiles a validated adversary over n+1 processes, input
-// dimension m, r rounds.
+// dimension m, r rounds. The retained doc is the normalized adversary
+// form (explicit input_dim and rounds), which re-validates and recompiles
+// to the same canonical key on any process — see Instance.SpecDoc.
 func (a *Adversary) instance(n, m, r int) (*Instance, error) {
+	mm, rr := m, r
+	doc, err := json.Marshal(Spec{Processes: n + 1, InputDim: &mm, Rounds: &rr, Adversary: a})
+	if err != nil {
+		doc = nil
+	}
 	in := &Instance{
 		Model:  SpecModel,
 		N:      n,
 		M:      m,
 		R:      r,
 		Params: ParamsJSON{N: n, M: m, R: r},
+		doc:    doc,
 	}
 	switch a.Kind {
 	case "crash":

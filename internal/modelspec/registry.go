@@ -15,6 +15,7 @@ package modelspec
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/url"
 	"sort"
@@ -198,8 +199,18 @@ type Instance struct {
 
 	op         roundop.Operator
 	degenerate func(inputDim int) bool
-	floor      int64 // arithmetic lower bound on facet insertions; 0 = none
+	floor      int64  // arithmetic lower bound on facet insertions; 0 = none
+	doc        []byte // spec document that recompiles to this instance
 }
+
+// SpecDoc returns a spec document (the inline-JSON dialect Parse accepts)
+// that compiles back to this exact instance — same canonical Key, same
+// operator, same shard plan. It is how a coordinator ships a model to
+// remote shard workers: the document, not the compiled operator, crosses
+// the wire, and the worker's own Parse/Compile re-derives an identical
+// deterministic shard decomposition. Nil only if the instance was built
+// outside the registry/spec paths.
+func (in *Instance) SpecDoc() []byte { return in.doc }
 
 // Operator returns the compiled round operator.
 func (in *Instance) Operator() roundop.Operator { return in.op }
@@ -298,11 +309,29 @@ func (m Model) instance(p Params) (*Instance, error) {
 		R:      p.R,
 		Params: m.echo(p),
 		op:     m.Operator(p),
+		doc:    m.specDoc(p),
 	}
 	if deg := m.Degenerate; deg != nil {
 		in.degenerate = func(dim int) bool { return deg(p, dim) }
 	}
 	return in, nil
+}
+
+// specDoc renders the preset-form spec document for a resolved tuple:
+// exactly the fields the canonical key carries (n, resolved m, the
+// model's own fields, r), so Parse+Compile of the document lands on the
+// byte-identical key. json.Marshal sorts map keys, so the rendering is
+// deterministic.
+func (m Model) specDoc(p Params) []byte {
+	params := map[string]int{"n": p.N, "m": p.M, "r": p.R}
+	for _, f := range m.Fields {
+		params[f] = p.field(f)
+	}
+	doc, err := json.Marshal(Spec{Name: m.Name, Params: params})
+	if err != nil {
+		return nil
+	}
+	return doc
 }
 
 // key renders the canonical cache identity of a preset tuple: a fixed

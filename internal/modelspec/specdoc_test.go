@@ -1,0 +1,89 @@
+package modelspec_test
+
+import (
+	"net/url"
+	"testing"
+
+	"pseudosphere/internal/modelspec"
+)
+
+// TestSpecDocRoundTrips: every instance's SpecDoc must Parse+Compile
+// back to the same canonical Key (and resolved N/M/R) — the property the
+// distributed build protocol rides on: a coordinator ships SpecDoc over
+// the wire, and the worker's recompiled instance must derive the
+// identical shard plan, which is a function of the instance.
+func TestSpecDocRoundTrips(t *testing.T) {
+	queries := []string{
+		"model=async&n=3&f=2&r=1",
+		"model=async&n=4&f=4&r=1",
+		"model=async&n=3&m=2&f=1&r=2",
+		"model=sync&n=3&k=1&f=2&r=2",
+		"model=semisync&n=2&k=1&c1=1&c2=2&d=2&r=1",
+		"model=iis&n=2&r=2",
+		"model=custom&n=2&k=1&r=1",
+	}
+	for _, q := range queries {
+		t.Run(q, func(t *testing.T) {
+			v, err := url.ParseQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := modelspec.FromQuery(v)
+			if err != nil {
+				t.Skipf("model not registered here: %v", err)
+			}
+			doc := inst.SpecDoc()
+			if doc == nil {
+				t.Fatalf("SpecDoc() = nil for registry instance %s", inst.Key)
+			}
+			spec, err := modelspec.Parse(doc)
+			if err != nil {
+				t.Fatalf("Parse(SpecDoc) of %s: %v\ndoc: %s", inst.Key, err, doc)
+			}
+			back, err := spec.Compile()
+			if err != nil {
+				t.Fatalf("Compile(Parse(SpecDoc)) of %s: %v\ndoc: %s", inst.Key, err, doc)
+			}
+			if back.Key != inst.Key {
+				t.Fatalf("recompiled Key %q != original %q (doc %s)", back.Key, inst.Key, doc)
+			}
+			if back.N != inst.N || back.M != inst.M || back.R != inst.R {
+				t.Fatalf("recompiled (n=%d m=%d r=%d) != original (n=%d m=%d r=%d)",
+					back.N, back.M, back.R, inst.N, inst.M, inst.R)
+			}
+		})
+	}
+}
+
+// TestSpecDocAdversaryForm: adversary-form specs (inline communication
+// graphs) round-trip through SpecDoc the same way — their document is
+// the spec itself re-rendered.
+func TestSpecDocAdversaryForm(t *testing.T) {
+	raw := []byte(`{"processes":3,"rounds":1,"adversary":{"kind":"graphs","graphs":[
+		{"edges":[[0,1],[1,2],[2,0]]},
+		{"edges":[[0,1],[0,2],[1,2]]}
+	]}}`)
+	spec, err := modelspec.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := inst.SpecDoc()
+	if doc == nil {
+		t.Fatal("SpecDoc() = nil for adversary-form instance")
+	}
+	spec2, err := modelspec.Parse(doc)
+	if err != nil {
+		t.Fatalf("Parse(SpecDoc): %v\ndoc: %s", err, doc)
+	}
+	back, err := spec2.Compile()
+	if err != nil {
+		t.Fatalf("Compile(Parse(SpecDoc)): %v\ndoc: %s", err, doc)
+	}
+	if back.Key != inst.Key {
+		t.Fatalf("recompiled Key %q != original %q", back.Key, inst.Key)
+	}
+}

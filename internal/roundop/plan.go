@@ -1,0 +1,71 @@
+package roundop
+
+import (
+	"fmt"
+
+	"pseudosphere/internal/pc"
+	"pseudosphere/internal/topology"
+)
+
+// ShardPlan is the exported view of the deterministic shard decomposition
+// RoundsParallelCtx and RoundsParallelCkpt run on: the (operator, input,
+// rounds) triple's branch list cut into index-range jobs at fixed strides.
+// The plan — and therefore every shard index — is identical across
+// processes that compute it from the same triple (see buildShardJobs), so
+// a remote worker holding nothing but the triple can enumerate exactly
+// the facets shard i means on the coordinator. That stability is the
+// whole distributed-construction protocol: shard indices are the only
+// thing the wire has to carry.
+//
+// A ShardPlan is immutable after PlanShards; RunShard may be called from
+// any number of goroutines as long as each uses its own target result.
+type ShardPlan struct {
+	jobs []shardJob
+	r    int
+	size int64
+}
+
+// PlanShards builds the shard plan for an r-round construction over
+// input. r must be at least 1 — a 0-round complex is the input's closure
+// and has no facet product to shard.
+func PlanShards(op Operator, input topology.Simplex, r int) (*ShardPlan, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("roundop: PlanShards needs r >= 1, got %d", r)
+	}
+	branches, err := op.Branches(pc.InputViews(input))
+	if err != nil {
+		return nil, err
+	}
+	jobs, grand := buildShardJobs(branches, r)
+	return &ShardPlan{jobs: jobs, r: r, size: grand}, nil
+}
+
+// NumShards returns the number of shards in the plan. Checkpoint records
+// and lease protocols address shards as [0, NumShards).
+func (p *ShardPlan) NumShards() int { return len(p.jobs) }
+
+// Size returns shard i's first-round option count: for r == 1 the exact
+// facet count, for deeper builds the number of first-round subtrees the
+// shard expands.
+func (p *ShardPlan) Size(i int) int64 {
+	if i < 0 || i >= len(p.jobs) {
+		return 0
+	}
+	return p.jobs[i].hi - p.jobs[i].lo
+}
+
+// TotalSize returns the sum of Size over every shard.
+func (p *ShardPlan) TotalSize() int64 { return p.size }
+
+// RunShard enumerates shard i's facets (and, for r > 1, their
+// continuation rounds) into the given result. Distinct goroutines may run
+// distinct shards concurrently into distinct results; merging the per-
+// shard results in any order yields the same complex as the single-
+// process build, because shards partition the facet product and the
+// complex is a set.
+func (p *ShardPlan) RunShard(into *pc.Result, i int) error {
+	if i < 0 || i >= len(p.jobs) {
+		return fmt.Errorf("roundop: shard index %d out of range [0, %d)", i, len(p.jobs))
+	}
+	return runShard(into, p.jobs[i], p.r)
+}

@@ -325,6 +325,9 @@ func (s *Server) buildRounds(q url.Values, spec *modelspec.Spec) (endpointQuery,
 // conventions (like async's empty-below-threshold inputs) live in the
 // compiled instance — serve has no per-model checks.
 func (s *Server) buildModel(ctx context.Context, inst *modelspec.Instance, input topology.Simplex, ck *jobs.CheckpointLog) (*pc.Result, error) {
+	if res, handled, err := s.distBuild(ctx, inst, input, ck); handled {
+		return res, err
+	}
 	if ck == nil {
 		return inst.Build(ctx, input, s.cfg.Workers)
 	}

@@ -232,6 +232,10 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, key string, body
 		return
 	}
 	rt.tracker.Counter("router_no_replica").Add(1)
+	// An owner's own 429 relays above with its authoritative Retry-After;
+	// here no replica answered at all, so give clients the minimum hint
+	// rather than none — a whole fleet rarely stays unreachable long.
+	w.Header().Set("Retry-After", "1")
 	writeError(w, http.StatusBadGateway, fmt.Errorf("no replica reachable for this request: %w", lastErr))
 }
 

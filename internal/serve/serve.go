@@ -97,6 +97,14 @@ type Config struct {
 	// Cluster enrolls this server as a replica of a fleet (nil: standalone).
 	// It requires StoreDir — the fleet protocol is about sharing that tier.
 	Cluster *ClusterConfig
+	// DistThreshold enables distributed construction on a fleet replica:
+	// builds whose facet estimate meets it are sharded across the fleet's
+	// claim/complete work-stealing protocol instead of running on this
+	// replica's pool alone (0 disables; requires Cluster). DistLease is
+	// the shard-range lease deadline — how long a dead worker can stall
+	// its claimed ranges before they are stolen back (0 = 10s).
+	DistThreshold int64
+	DistLease     time.Duration
 	// DisableMorse turns off the homology engines' coreduction
 	// preprocessing (see homology.Engine.DisableMorse); results are
 	// identical either way, so this is a triage/benchmark switch.
@@ -162,6 +170,7 @@ type Server struct {
 	ring *cluster.Ring
 	rt   *cluster.ReadThrough
 	self string
+	dist *distState // distributed construction; nil unless DistThreshold set
 
 	// hardStop cancels every in-flight compute when a drain deadline is
 	// exceeded; see Abort.
@@ -201,6 +210,9 @@ func New(cfg Config) (*Server, error) {
 			// Peers read and push through the raw disk tier — handing them
 			// the read-through view would bounce a miss back and forth.
 			s.mux.Handle(cluster.KVPath, cluster.KVHandler(st))
+			if cfg.DistThreshold > 0 {
+				s.setupDist()
+			}
 		}
 		s.betti.SetBacking(bettiBacking{st: s.store})
 	}
@@ -255,6 +267,7 @@ func New(cfg Config) (*Server, error) {
 // shutdownOnError unwinds the partially built server when New fails after
 // starting its background work.
 func (s *Server) shutdownOnError() {
+	s.closeDist()
 	if s.rt != nil {
 		s.rt.Close()
 	}
@@ -287,6 +300,10 @@ func (s *Server) Close() error {
 		if s.jobs != nil {
 			s.jobs.Close()
 		}
+		// The dist tier follows: the job close above unwound any coordinator
+		// Run, and the worker pool's claim loops stop here before the store
+		// tier they report through goes away.
+		s.closeDist()
 		// Responses persist synchronously inside their flight, so by the
 		// time the HTTP server has drained every put has landed in the
 		// read-through; its Close flushes the remaining owner pushes.
